@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+The corpus and its evaluation are session-scoped: Tables 2(a), 2(b) and
+2(c) are different projections of one experimental run, exactly as in the
+paper.  Scale is controlled by the ``REPRO_SCALE`` environment variable
+(default: CI-friendly; ``REPRO_SCALE=paper`` for full-size ontologies —
+expect hours, as the paper's own Java prototype needed seconds per
+ontology on much smaller Python-constant workloads).
+
+Every bench writes its rendered table to ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_ontology, summarise
+from repro.generators import generate_corpus
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 178-ontology synthetic corpus (Table 2(a) structure)."""
+    tests_scale = float(os.environ.get("REPRO_TESTS_SCALE", "1.0"))
+    return generate_corpus(tests_scale=tests_scale)
+
+
+@pytest.fixture(scope="session")
+def corpus_evaluations(corpus):
+    """Adn∃ + chase ground truth for every ontology (Tables 2(b)/(c))."""
+    chase_steps = int(os.environ.get("REPRO_CHASE_STEPS", "1200"))
+    return [
+        evaluate_ontology(ont, chase_steps=chase_steps) for ont in corpus
+    ]
+
+
+@pytest.fixture(scope="session")
+def corpus_summaries(corpus_evaluations):
+    return summarise(corpus_evaluations)

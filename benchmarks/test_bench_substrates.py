@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the substrates the reproduction stands on.
+
+Not a paper table — these keep the performance characteristics of the
+homomorphism finder, the chase runner, core computation, the firing-edge
+decision and the Adn∃ algorithm visible, so regressions in the expensive
+kernels show up in ``--benchmark-only`` runs.
+"""
+
+from repro.chase import run_chase
+from repro.core import adn_exists
+from repro.data import sigma_1, sigma_11
+from repro.firing import decide_fires
+from repro.generators import random_dependency_set, seed_database
+from repro.homomorphism import core, find_homomorphism
+from repro.model import Atom, Constant, Instance, Null, Variable, parse_facts
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _chain_instance(n: int) -> Instance:
+    consts = [Constant(f"c{i}") for i in range(n + 1)]
+    return Instance(Atom("E", (consts[i], consts[i + 1])) for i in range(n))
+
+
+def test_bench_homomorphism_join(benchmark):
+    target = _chain_instance(60)
+    source = [Atom("E", (x, y)), Atom("E", (y, z))]
+    h = benchmark(lambda: find_homomorphism(source, target))
+    assert h is not None
+
+
+def test_bench_chase_sigma11(benchmark):
+    sigma = sigma_11()
+    db = parse_facts(" ".join(f'N("a{i}")' for i in range(6)))
+    result = benchmark(
+        lambda: run_chase(db, sigma, strategy="full_first", max_steps=2_000)
+    )
+    assert result.successful
+
+
+def test_bench_chase_generated_ontology(benchmark):
+    sigma = random_dependency_set(17, n_deps=8, egd_fraction=0.25)
+    db = seed_database(sigma)
+    result = benchmark(
+        lambda: run_chase(db, sigma, strategy="full_first", max_steps=600)
+    )
+    assert result is not None
+
+
+def test_bench_core_computation(benchmark):
+    base = _chain_instance(8)
+    redundant = base.copy()
+    for i in range(6):
+        redundant.add(Atom("E", (Constant("c0"), Null(100 + i))))
+    result = benchmark(lambda: core(redundant.copy()))
+    assert len(result) <= len(base) + 1
+
+
+def test_bench_firing_edge_decision(benchmark):
+    sigma = sigma_1()
+    r2, r1 = sigma[1], sigma[0]
+    decision = benchmark(lambda: decide_fires(r2, r1, sigma.full))
+    assert not decision.edge  # the defused Σ1 edge — the expensive path
+
+
+def test_bench_adn_exists_sigma1(benchmark):
+    result = benchmark(lambda: adn_exists(sigma_1()))
+    assert result.acyclic

@@ -1,0 +1,130 @@
+"""Table 2: the paper's experimental evaluation over the ontology corpus.
+
+* **2(a)** — corpus structure: number of ontologies and average |Σ| per
+  (|Σ∃|, |Σegd|) class.  Our synthetic corpus reproduces the class
+  partition and test counts exactly; sizes are scaled (see conftest).
+* **2(b)** — cost of Adn∃: |Σµ|/|Σ| ratio and running time per class.
+* **2(c)** — expressivity: A+NT and FN per class, against a bounded-chase
+  ground truth, plus the FP? column our reproduction adds (accepted but no
+  halting chase found — invisible to the paper's methodology).
+"""
+
+from conftest import write_result
+
+from repro.analysis.evaluation import render_table2
+from repro.generators import TABLE2A_CLASSES, corpus_by_class
+
+
+def test_bench_table2a(benchmark, corpus):
+    groups = benchmark.pedantic(
+        lambda: corpus_by_class(corpus), rounds=1, iterations=1
+    )
+    paper = {c["name"]: c for c in TABLE2A_CLASSES}
+    lines = [
+        "Table 2(a) — corpus structure (paper vs generated)",
+        "",
+        f"{'class':<20} {'#tests':>7} {'paper #':>8} {'avg |Σ|':>8} {'paper |Σ|':>10}",
+        "-" * 60,
+    ]
+    for name in sorted(paper):
+        onts = groups.get(name, [])
+        avg = sum(len(o.sigma) for o in onts) / max(1, len(onts))
+        lines.append(
+            f"{name:<20} {len(onts):>7} {paper[name]['tests']:>8} "
+            f"{avg:>8.0f} {paper[name]['avg_size']:>10}"
+        )
+        # Class counts must match the paper exactly (structure is exact;
+        # sizes are scaled).
+        assert len(onts) == paper[name]["tests"]
+    lines.append("-" * 60)
+    lines.append(f"total ontologies: {len(corpus)} (paper: 178)")
+    assert len(corpus) == 178
+    write_result("table2a", "\n".join(lines))
+
+
+def test_bench_table2b(benchmark, corpus_summaries):
+    summaries = corpus_summaries
+
+    def project():
+        return {
+            name: (s.avg_ratio, s.avg_time_ms) for name, s in summaries.items()
+        }
+
+    rows = benchmark.pedantic(project, rounds=1, iterations=1)
+    paper_b = {
+        "E1-10/G1-10": (2.38, 84), "E1-10/G11-100": (3.15, 125),
+        "E11-100/G1-10": (2.45, 141), "E11-100/G11-100": (2.83, 275),
+        "E101-1000/G1-10": (2.97, 787), "E101-1000/G11-100": (6.16, 22819),
+        "E1001-5000/G1-10": (2.82, 712), "E1001-5000/G11-100": (2.82, 1495),
+    }
+    lines = [
+        "Table 2(b) — Adn∃ complexity (paper vs measured; sizes scaled)",
+        "",
+        f"{'class':<20} {'|Σµ|/|Σ|':>9} {'paper':>7} {'time ms':>9} {'paper ms':>9}",
+        "-" * 60,
+    ]
+    for name in sorted(paper_b):
+        ratio, ms = rows[name]
+        p_ratio, p_ms = paper_b[name]
+        lines.append(
+            f"{name:<20} {ratio:>9.2f} {p_ratio:>7.2f} {ms:>9.1f} {p_ms:>9}"
+        )
+        # Shape: the adorned set stays within a small constant factor of Σ
+        # (the paper's ratios are 2.4–6.2).
+        assert 1.0 <= ratio <= 10.0, (name, ratio)
+    write_result("table2b", "\n".join(lines))
+
+
+def test_bench_table2c(benchmark, corpus_summaries):
+    summaries = benchmark.pedantic(
+        lambda: corpus_summaries, rounds=1, iterations=1
+    )
+    paper_c = {
+        "E1-10/G1-10": (50, 0), "E1-10/G11-100": (7, 0),
+        "E11-100/G1-10": (15, 0), "E11-100/G11-100": (26, 0),
+        "E101-1000/G1-10": (51, 0), "E101-1000/G11-100": (11, 2),
+        "E1001-5000/G1-10": (9, 0), "E1001-5000/G11-100": (7, 0),
+    }
+    lines = [
+        "Table 2(c) — expressivity (paper vs measured)",
+        "",
+        f"{'class':<20} {'A+NT':>5} {'paper':>6} {'FN':>4} {'paper':>6} {'FP?':>4}",
+        "-" * 56,
+    ]
+    total_fn = 0
+    for name in sorted(paper_c):
+        s = summaries[name]
+        p_ant, p_fn = paper_c[name]
+        total_fn += s.false_negatives
+        lines.append(
+            f"{name:<20} {s.a_plus_nt:>5} {p_ant:>6} "
+            f"{s.false_negatives:>4} {p_fn:>6} {s.accepted_not_halted:>4}"
+        )
+    halting = sum(
+        s.tests - s.accepted_not_halted - s.not_accepted_not_halted
+        for s in summaries.values()
+    )
+    recognised = sum(
+        s.accepted - s.accepted_not_halted for s in summaries.values()
+    )
+    lines += [
+        "-" * 56,
+        f"chase-halting ontologies: {halting}; recognised by SAC: {recognised}; "
+        f"false negatives: {total_fn}",
+        "paper: among 76 halting ontologies only 2 were not semi-acyclic.",
+        "",
+        "FP? column (not observable with the paper's methodology): SAC",
+        "accepted but no chase strategy halted within budget — the literal",
+        "Algorithm 1's Dµ analysis merges free symbols using hypothetical",
+        "all-bound database facts (DESIGN.md §2, EXPERIMENTS.md).",
+        "",
+        render_table2(summaries),
+    ]
+    # Shape assertions: recognition of halting ontologies is near-total.
+    # False negatives stem from the θ-merge conflating null generations
+    # (several definitions accumulate on one symbol, creating spurious
+    # Ω self-loops) — the same mechanism behind the paper's 2/76; our
+    # corpus triggers it somewhat more often.
+    assert halting > 0
+    assert total_fn <= max(4, round(0.15 * halting))
+    write_result("table2c", "\n".join(lines))

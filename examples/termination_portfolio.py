@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The criterion landscape on every dependency set from the paper.
+
+Reproduces, as a matrix, the expressivity story told across the paper:
+
+* Σ1 / Σ11 — only the paper's S-Str and SAC apply (Theorem 5, Theorem 9);
+* Σ8        — recognised by stratification-family criteria directly, but by
+              *no* TGD-only criterion through the substitution-free
+              simulation (Theorem 2's incompleteness);
+* Σ10       — nothing applies, and indeed no chase sequence terminates;
+* Σ3 / Σ6   — easy sets every criterion accepts.
+
+Also demonstrates the Adn∃-C combination (Theorem 11): criteria that fail
+on Σ directly can succeed on the adorned set Adn∃(Σ)[1].
+
+Run:  python examples/termination_portfolio.py
+"""
+
+from repro import classify
+from repro.core import AdnCombined
+from repro.data import all_paper_sets
+
+CRITERIA = ["WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "Str", "S-Str", "SAC"]
+
+
+def main() -> None:
+    sets = all_paper_sets()
+    header = f"{'set':<10}" + "".join(f"{c:>7}" for c in CRITERIA)
+    print(header)
+    print("-" * len(header))
+    for name, sigma in sets.items():
+        report = classify(sigma, criteria=CRITERIA)
+        row = f"{name:<10}"
+        for c in CRITERIA:
+            row += f"{'✓' if report.results[c].accepted else '·':>7}"
+        print(row)
+
+    print("\nAdn∃-C combination (Theorem 11: C ⊊ Adn∃-C):")
+    sigma1 = sets["sigma_1"]
+    for inner in ["WA", "SC"]:
+        direct = classify(sigma1, criteria=[inner]).results[inner].accepted
+        combined = AdnCombined(inner).check(sigma1)
+        print(
+            f"  Σ1: {inner} directly: {direct};  "
+            f"Adn∃-{inner}: {combined.accepted} "
+            f"(adorned set has {combined.details['size_adorned']} dependencies)"
+        )
+
+
+if __name__ == "__main__":
+    main()

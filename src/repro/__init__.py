@@ -1,0 +1,118 @@
+"""repro — reproduction of "Exploiting Equality Generating Dependencies in
+Checking Chase Termination" (Calautti, Greco, Molinaro, Trubitsyna;
+PVLDB 9(5), 2016).
+
+The package provides, from scratch:
+
+* a relational model with TGDs/EGDs and a textual dependency syntax;
+* standard / oblivious / semi-oblivious / core chase engines and a
+  bounded exhaustive chase-sequence explorer;
+* the firing relations ``≺`` and ``<`` with the chase graph and firing
+  graph (Figure 1);
+* the termination criteria landscape: WA, SC, SwA, Str, CStr, AC, MFA,
+  MSA, plus EGD→TGD simulations for the TGD-only criteria;
+* the paper's contributions — semi-stratification (S-Str), the Adn∃
+  adornment algorithm, semi-acyclicity (SAC) and the Adn∃-C combination;
+* a synthetic ontology corpus and benches regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import parse_dependencies, classify, run_chase, parse_facts
+
+    sigma = parse_dependencies('''
+        r1: N(x) -> exists y. E(x, y)
+        r2: E(x, y) -> N(y)
+        r3: E(x, y) -> x = y
+    ''')
+    print(classify(sigma))
+    result = run_chase(parse_facts('N("a")'), sigma, strategy="full_first")
+    print(result.instance)
+"""
+
+from .analysis import ClassificationReport, classify
+from .chase import (
+    ChaseResult,
+    ChaseStatus,
+    core_chase,
+    explore_chase,
+    run_chase,
+)
+from .core import (
+    AdnCombined,
+    AdnResult,
+    SemiAcyclicity,
+    SemiStratification,
+    adn_exists,
+    is_semi_acyclic,
+    is_semi_stratified,
+)
+from .criteria import (
+    CriterionResult,
+    Guarantee,
+    TerminationCriterion,
+    get_criterion,
+    registry,
+)
+from .firing import FiringOracle, chase_graph, firing_graph
+from .homomorphism import core, find_homomorphism, satisfies_all
+from .model import (
+    EGD,
+    TGD,
+    Atom,
+    Constant,
+    DependencySet,
+    Instance,
+    Null,
+    Variable,
+    database,
+    parse_dependencies,
+    parse_dependency,
+    parse_facts,
+)
+from .simulation import natural_simulation, substitution_free_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassificationReport",
+    "classify",
+    "ChaseResult",
+    "ChaseStatus",
+    "core_chase",
+    "explore_chase",
+    "run_chase",
+    "AdnCombined",
+    "AdnResult",
+    "SemiAcyclicity",
+    "SemiStratification",
+    "adn_exists",
+    "is_semi_acyclic",
+    "is_semi_stratified",
+    "CriterionResult",
+    "Guarantee",
+    "TerminationCriterion",
+    "get_criterion",
+    "registry",
+    "FiringOracle",
+    "chase_graph",
+    "firing_graph",
+    "core",
+    "find_homomorphism",
+    "satisfies_all",
+    "EGD",
+    "TGD",
+    "Atom",
+    "Constant",
+    "DependencySet",
+    "Instance",
+    "Null",
+    "Variable",
+    "database",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_facts",
+    "natural_simulation",
+    "substitution_free_simulation",
+    "__version__",
+]

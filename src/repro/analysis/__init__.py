@@ -1,0 +1,30 @@
+"""Analysis facade: criterion portfolio, corpus evaluation, Table 1 checks."""
+
+from .classify import DEFAULT_ORDER, ClassificationReport, classify
+from .evaluation import (
+    HALT_STRATEGIES,
+    ClassSummary,
+    OntologyEvaluation,
+    chase_ground_truth,
+    evaluate_ontology,
+    render_table2,
+    summarise,
+)
+from .hierarchy import ClaimCheck, check_claim, render_table1, verify_cases
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "ClassificationReport",
+    "classify",
+    "HALT_STRATEGIES",
+    "ClassSummary",
+    "OntologyEvaluation",
+    "chase_ground_truth",
+    "evaluate_ontology",
+    "render_table2",
+    "summarise",
+    "ClaimCheck",
+    "check_claim",
+    "render_table1",
+    "verify_cases",
+]

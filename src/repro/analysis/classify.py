@@ -1,0 +1,87 @@
+"""The portfolio runner: run every registered termination criterion on a
+dependency set and summarise the verdicts.
+
+This is the top-level entry point a downstream user reaches for first::
+
+    from repro import classify, parse_dependencies
+    report = classify(parse_dependencies(text))
+    print(report)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..criteria.base import CriterionResult, Guarantee, get_criterion, registry
+from ..model.dependencies import DependencySet
+
+#: Criteria ordered roughly by cost (cheap static ones first).
+DEFAULT_ORDER = [
+    "WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "SR", "IR", "Str", "S-Str", "SAC",
+]
+
+
+@dataclass
+class ClassificationReport:
+    """Per-criterion verdicts for one dependency set."""
+
+    sigma: DependencySet
+    results: dict[str, CriterionResult] = field(default_factory=dict)
+
+    @property
+    def accepted_by(self) -> list[str]:
+        return [name for name, r in self.results.items() if r.accepted]
+
+    @property
+    def guarantees_all(self) -> bool:
+        """Some accepting criterion guarantees CTstd∀."""
+        return any(
+            r.accepted and r.guarantee is Guarantee.CT_ALL
+            for r in self.results.values()
+        )
+
+    @property
+    def guarantees_exists(self) -> bool:
+        """Some accepting criterion guarantees (at least) CTstd∃."""
+        return any(r.accepted for r in self.results.values())
+
+    def __str__(self) -> str:
+        lines = [f"classification of Σ ({len(self.sigma)} dependencies):"]
+        for name, r in self.results.items():
+            mark = "✓" if r.accepted else "✗"
+            kind = "∀" if r.guarantee is Guarantee.CT_ALL else "∃"
+            approx = "" if r.exact else " ~"
+            lines.append(
+                f"  {mark} {name:<6} (CTstd{kind}){approx}  {r.elapsed_ms:8.1f} ms"
+            )
+        if self.guarantees_all:
+            verdict = "all standard chase sequences terminate"
+        elif self.guarantees_exists:
+            verdict = "a terminating standard chase sequence exists"
+        else:
+            verdict = "no criterion applies (termination unknown)"
+        lines.append(f"  ⇒ {verdict}")
+        return "\n".join(lines)
+
+
+def classify(
+    sigma: DependencySet,
+    criteria: list[str] | None = None,
+    stop_on_first: bool = False,
+) -> ClassificationReport:
+    """Run the (selected) criteria on Σ.
+
+    ``criteria`` defaults to every registered criterion in rough cost
+    order.  ``stop_on_first`` stops at the first acceptance — useful when
+    only the verdict matters.
+    """
+    names = criteria if criteria is not None else [
+        n for n in DEFAULT_ORDER if n in registry()
+    ]
+    report = ClassificationReport(sigma)
+    for name in names:
+        result = get_criterion(name).check(sigma)
+        report.results[name] = result
+        if stop_on_first and result.accepted:
+            break
+    return report

@@ -1,0 +1,93 @@
+"""Empirical verification of the Table 1 relationships.
+
+Each :class:`~repro.data.witnesses.WitnessCase` claim is checked with the
+chase explorer (bounded exhaustive exploration of the nondeterministic
+choice tree) and, for the core chase, the deterministic core-chase runner.
+
+The checks are necessarily bounded: "∈ CTc∃" is verified by *finding* a
+terminating sequence (conclusive); "∉ CTc∀" by finding a cut-off path
+(conclusive for non-termination only in combination with the witness's
+analytical argument, which the docstrings carry); "∉ CTc∃" by exhausting
+the bounded tree without a terminating leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chase.core_chase import core_chase
+from ..chase.explorer import ExplorationVerdict, explore_chase
+from ..data.witnesses import Claim, WitnessCase
+
+
+@dataclass
+class ClaimCheck:
+    """One verified (or refuted) witness claim with its evidence."""
+
+    case: str
+    claim: Claim
+    holds: bool
+    evidence: str
+
+
+def check_claim(case: WitnessCase, claim: Claim, max_depth: int = 14,
+                max_states: int = 30_000) -> ClaimCheck:
+    if claim.variant == "core":
+        result = core_chase(case.database, case.sigma, max_rounds=50)
+        holds = result.terminated == claim.member
+        return ClaimCheck(
+            case.name, claim, holds,
+            f"core chase status: {result.status.value}",
+        )
+    exp = explore_chase(
+        case.database, case.sigma, variant=claim.variant,
+        max_depth=max_depth, max_states=max_states,
+    )
+    if claim.quantifier == "exists":
+        observed = exp.some_terminating
+    else:
+        observed = exp.verdict is ExplorationVerdict.ALL_TERMINATING
+    holds = observed == claim.member
+    evidence = (
+        f"{claim.variant}: verdict={exp.verdict.name} "
+        f"terminating={exp.terminating_paths} failing={exp.failing_paths} "
+        f"capped={exp.capped_paths} states={exp.explored_states}"
+    )
+    return ClaimCheck(case.name, claim, holds, evidence)
+
+
+def verify_cases(cases: list[WitnessCase]) -> list[ClaimCheck]:
+    """Check every claim of every witness case."""
+    out = []
+    for case in cases:
+        for claim in case.claims:
+            out.append(check_claim(case, claim))
+    return out
+
+
+def render_table1(checks: list[ClaimCheck]) -> str:
+    """Summarise the relationship verifications in Table 1's terms."""
+    lines = [
+        "Table 1 — relationships among the CT classes (TGDs and EGDs)",
+        "",
+        f"{'witness':<14} {'claim':<28} {'holds':>6}  evidence",
+        "-" * 100,
+    ]
+    for c in checks:
+        member = "∈" if c.claim.member else "∉"
+        q = "∀" if c.claim.quantifier == "all" else "∃"
+        claim_txt = f"{member} CT{c.claim.variant[:4]}{q}"
+        lines.append(
+            f"{c.case:<14} {claim_txt:<28} {str(c.holds):>6}  {c.evidence}"
+        )
+    relationships = [
+        "CTc∀ ⊊ CTc∃ for c ∈ {obl, sobl, std}   — witnessed by sigma_1",
+        "CTobl∃ ∦ CTsobl∀                        — sigma_1 vs sigma_6",
+        "CTsobl∃ ∦ CTstd∀ and CTobl∃ ∦ CTstd∀    — sigma_1 vs mirror_pair",
+        "EGDs can destroy termination            — sigma_10",
+        "CTstd∀ ⊊ CTstd∃ already for TGDs        — sigma_11",
+    ]
+    lines.append("")
+    lines.append("relationships covered:")
+    lines.extend(f"  * {r}" for r in relationships)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""The core chase (Deutsch–Nash–Remmel, "The chase revisited").
+
+A core chase step on an instance ``K``:
+
+1. apply **all** standard chase steps ``K --(r,h,γ)--> K'`` in parallel and
+   take ``J = ∪ K'`` (each TGD step uses its own fresh nulls; each EGD step
+   contributes ``Kγ``; a failing EGD step fails the whole sequence);
+2. the step's result is ``J' = core(J)``.
+
+The parallel application removes the standard chase's nondeterminism, and
+the core chase is *complete* for universal models: whenever ``(D, Σ)`` has a
+universal model, the core chase terminates and produces one (Section 2).
+"""
+
+from __future__ import annotations
+
+from ..homomorphism.cores import core
+from ..homomorphism.satisfaction import violations
+from ..model.dependencies import EGD, TGD, DependencySet
+from ..model.instances import Instance
+from ..model.terms import NullFactory, Term
+from .result import ChaseResult, ChaseStatus
+from .step import Trigger, egd_substitution
+
+
+def core_chase_step(
+    instance: Instance, sigma: DependencySet, nulls: NullFactory
+) -> Instance | None:
+    """One core chase step; returns the new instance, or None on ⊥."""
+    union = instance.copy()
+    fired_any = False
+    for dep in sigma:
+        for h in violations(instance, dep):
+            fired_any = True
+            if isinstance(dep, TGD):
+                mapping: dict[Term, Term] = {v: h[v] for v in dep.body_variables()}
+                for z in dep.existential:
+                    mapping[z] = nulls.fresh()
+                for atom in dep.head:
+                    union.add(atom.apply(mapping))
+            else:
+                gamma = egd_substitution(dep, h)
+                if gamma is None:
+                    return None  # two distinct constants: J = ⊥
+                # K' = Kγ contributed to the union.
+                union.add_all(
+                    f.apply({gamma.old: gamma.new}) for f in instance
+                )
+    if not fired_any:
+        return instance
+    return core(union)
+
+
+def core_chase(
+    database: Instance,
+    sigma: DependencySet,
+    max_rounds: int = 1_000,
+) -> ChaseResult:
+    """Run the core chase of ``database`` with ``sigma``.
+
+    Returns SUCCESS with the (unique up to isomorphism) universal model,
+    FAILURE on ⊥, or EXCEEDED after ``max_rounds`` core chase steps.
+    """
+    current = database.copy()
+    nulls = NullFactory(
+        start=max((n.label for n in current.nulls()), default=0) + 1
+    )
+    for _ in range(max_rounds):
+        if not any(True for d in sigma for _ in violations(current, d, limit=1)):
+            return ChaseResult(ChaseStatus.SUCCESS, current, [], "core")
+        nxt = core_chase_step(current, sigma, nulls)
+        if nxt is None:
+            return ChaseResult(ChaseStatus.FAILURE, None, [], "core")
+        current = nxt
+    return ChaseResult(ChaseStatus.EXCEEDED, current, [], "core")

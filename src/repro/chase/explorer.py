@@ -1,0 +1,204 @@
+"""Bounded exhaustive exploration of the chase's nondeterminism.
+
+``CTc∀`` and ``CTc∃`` membership is undecidable, but for the small witness
+programs used in the Table 1 bench we can *empirically* classify a concrete
+``(D, Σ)`` pair by exploring every chase sequence up to a depth bound:
+
+* every explored path reaches a leaf (no applicable step, or ⊥) and no path
+  was cut off → all sequences terminate (within the bound: conclusive,
+  because chase states grow monotonically along a path only through the
+  explored frontier);
+* some leaf reached → a terminating sequence exists;
+* otherwise nothing terminated within the bounds.
+
+States reached by the standard chase are memoized up to null renaming
+(exact isomorphism for up to ``PERMUTATION_CAP`` nulls, a deterministic
+first-occurrence relabeling beyond — the latter may fail to merge some
+isomorphic states, which costs time but never soundness).
+
+The oblivious and semi-oblivious chase carry trigger-key state, so their
+exploration is a plain bounded DFS.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from ..homomorphism.finder import find_homomorphism, find_homomorphisms
+from ..homomorphism.satisfaction import violations
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, DependencySet
+from ..model.instances import Instance
+from ..model.terms import Null, NullFactory, Term, Variable
+from .runner import _key_variables
+from .step import Trigger, apply_step
+
+PERMUTATION_CAP = 6
+
+
+class ExplorationVerdict(enum.Enum):
+    """Summary of a bounded exhaustive chase exploration."""
+
+    ALL_TERMINATING = "all sequences terminate"
+    SOME_TERMINATING = "a terminating sequence exists; some paths were cut off"
+    NONE_FOUND = "no terminating sequence found within bounds"
+    EXHAUSTED = "state budget exhausted before any conclusion"
+
+
+@dataclass
+class ExplorationResult:
+    """Verdict plus path/state counters of one exploration."""
+
+    verdict: ExplorationVerdict
+    terminating_paths: int
+    failing_paths: int
+    capped_paths: int
+    explored_states: int
+
+    @property
+    def some_terminating(self) -> bool:
+        return self.terminating_paths + self.failing_paths > 0
+
+    @property
+    def all_terminating(self) -> bool:
+        return self.verdict is ExplorationVerdict.ALL_TERMINATING
+
+
+def canonical_key(instance: Instance) -> tuple:
+    """A hashable key identifying the instance up to null renaming.
+
+    Exact (minimum over permutations) for small null counts; deterministic
+    first-occurrence relabeling beyond that.
+    """
+    nulls = sorted(instance.nulls(), key=lambda n: n.label)
+    if not nulls:
+        return tuple(sorted(_fact_key(f, {}) for f in instance))
+    if len(nulls) <= PERMUTATION_CAP:
+        best = None
+        for perm in itertools.permutations(range(len(nulls))):
+            relabel = {n: i for n, i in zip(nulls, perm)}
+            key = tuple(sorted(_fact_key(f, relabel) for f in instance))
+            if best is None or key < best:
+                best = key
+        return best  # type: ignore[return-value]
+    # Greedy: order facts by null-blind shape, relabel nulls by first use.
+    shaped = sorted(instance, key=lambda f: _fact_key(f, None))
+    relabel: dict[Null, int] = {}
+    for f in shaped:
+        for t in f.args:
+            if isinstance(t, Null) and t not in relabel:
+                relabel[t] = len(relabel)
+    return tuple(sorted(_fact_key(f, relabel) for f in instance))
+
+
+def _fact_key(fact: Atom, relabel: dict | None) -> tuple:
+    parts: list = [fact.predicate]
+    for t in fact.args:
+        if isinstance(t, Null):
+            if relabel is None:
+                parts.append(("η",))
+            else:
+                parts.append(("η", relabel[t]))
+        else:
+            parts.append(("c", str(t)))
+    return tuple(parts)
+
+
+def _applicable_triggers(
+    instance: Instance,
+    sigma: DependencySet,
+    variant: str,
+    fired_keys: frozenset,
+    key_vars: dict,
+) -> list[Trigger]:
+    out = []
+    if variant == "standard":
+        for dep in sigma:
+            for h in violations(instance, dep):
+                out.append(Trigger.make(dep, h))
+    else:
+        for dep in sigma:
+            for h in find_homomorphisms(dep.body, instance, limit=None):
+                t = Trigger.make(dep, h)
+                if isinstance(dep, EGD) and h[dep.lhs] is h[dep.rhs]:
+                    continue
+                if t.key(key_vars[dep]) in fired_keys:
+                    continue
+                out.append(t)
+    out.sort(key=str)
+    return out
+
+
+def explore_chase(
+    database: Instance,
+    sigma: DependencySet,
+    variant: str = "standard",
+    max_depth: int = 20,
+    max_states: int = 20_000,
+) -> ExplorationResult:
+    """Explore every ``variant``-chase sequence of (database, sigma)."""
+    key_vars = {d: _key_variables(d, variant) for d in sigma} if variant != "standard" else {}
+    memo: set[tuple] = set()
+    stats = {"terminating": 0, "failing": 0, "capped": 0, "states": 0}
+    budget_hit = [False]
+
+    def visit(instance: Instance, fired: frozenset, depth: int) -> None:
+        if stats["states"] >= max_states:
+            budget_hit[0] = True
+            return
+        stats["states"] += 1
+        if variant == "standard":
+            key = canonical_key(instance)
+            if key in memo:
+                return
+            memo.add(key)
+        triggers = _applicable_triggers(instance, sigma, variant, fired, key_vars)
+        if not triggers:
+            stats["terminating"] += 1
+            return
+        if depth >= max_depth:
+            stats["capped"] += 1
+            return
+        for trigger in triggers:
+            if budget_hit[0]:
+                return
+            child = instance.copy()
+            start = max((n.label for n in child.nulls()), default=0) + 1
+            nulls = NullFactory(start=start)
+            outcome = apply_step(child, trigger, nulls)
+            if outcome.failed:
+                stats["failing"] += 1
+                continue
+            child_fired = fired
+            if variant != "standard":
+                new_key = trigger.key(key_vars[trigger.dependency])
+                if outcome.gamma is not None:
+                    old, new = outcome.gamma.old, outcome.gamma.new
+                    child_fired = frozenset(
+                        (dep, tuple(new if t is old else t for t in images))
+                        for dep, images in fired
+                    )
+                child_fired = child_fired | {new_key}
+            visit(child, child_fired, depth + 1)
+
+    visit(database, frozenset(), 0)
+
+    capped = stats["capped"]
+    terminated = stats["terminating"] + stats["failing"]
+    if budget_hit[0] and terminated == 0:
+        verdict = ExplorationVerdict.EXHAUSTED
+    elif capped == 0 and not budget_hit[0]:
+        verdict = ExplorationVerdict.ALL_TERMINATING
+    elif terminated > 0:
+        verdict = ExplorationVerdict.SOME_TERMINATING
+    else:
+        verdict = ExplorationVerdict.NONE_FOUND
+    return ExplorationResult(
+        verdict=verdict,
+        terminating_paths=stats["terminating"],
+        failing_paths=stats["failing"],
+        capped_paths=capped,
+        explored_states=stats["states"],
+    )

@@ -1,0 +1,244 @@
+"""The sequential chase runner: standard, oblivious, and semi-oblivious.
+
+The runner owns a working instance and a pool of *pending* candidate
+triggers.  Discovery is incremental (new facts seed new body matches), while
+a full sweep runs whenever the pool drains, guaranteeing exhaustiveness:
+
+* a trigger that fails its applicability check is dead **permanently** for
+  every variant (a satisfied TGD trigger stays satisfied under both fact
+  additions and EGD merges; an EGD trigger with equal images stays equal;
+  a fired oblivious key stays fired), so pruning at pop time is sound;
+* EGD merges rewrite the instance, every pending trigger, and every
+  recorded (semi-)oblivious trigger key — implementing the paper's
+  ``h_i(x) = h_j(x)γ_j···γ_{i-1}`` composed-substitution comparison;
+* rewritten facts count as *new* facts for discovery (a merge can enable
+  body matches with repeated variables, e.g. ``E(x,x)`` after ``E(a,η)``
+  collapses to ``E(a,a)``).
+
+Variant-specific applicability (Section 2):
+
+* standard: TGD triggers must have no head extension in the current
+  instance; EGD triggers need ``h(x1) ≠ h(x2)``;
+* oblivious: each trigger fires at most once, keyed on all body variables;
+* semi-oblivious: keyed on the variables shared between body and head
+  (the TGD frontier; for an EGD, the two equated variables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..homomorphism.finder import find_homomorphism, find_homomorphisms
+from ..homomorphism.satisfaction import violations
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
+from ..model.instances import Instance
+from ..model.terms import GroundTerm, Null, NullFactory, Variable
+from .result import ChaseResult, ChaseStatus
+from .step import StepOutcome, Substitution, Trigger, apply_step
+from .strategies import Strategy, resolve_strategy
+
+VARIANTS = ("standard", "oblivious", "semi_oblivious")
+
+
+class ChaseBudgetExceeded(Exception):
+    """Internal signal: step budget exhausted (mapped to EXCEEDED status)."""
+
+
+def _key_variables(dep: AnyDependency, variant: str) -> tuple[Variable, ...]:
+    """The variables identifying a trigger for the given chase variant."""
+    if variant == "oblivious":
+        return tuple(sorted(dep.body_variables(), key=lambda v: v.name))
+    # semi-oblivious: variables occurring in both body and head.
+    if isinstance(dep, TGD):
+        shared = dep.frontier()
+    else:
+        shared = {dep.lhs, dep.rhs}
+    return tuple(sorted(shared, key=lambda v: v.name))
+
+
+class ChaseRunner:
+    """Runs one chase sequence over a private copy of the database."""
+
+    def __init__(
+        self,
+        database: Instance,
+        sigma: DependencySet,
+        variant: str = "standard",
+        strategy: Strategy | str = "fifo",
+        max_steps: int = 10_000,
+        copy_database: bool = True,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown chase variant {variant!r}; known: {VARIANTS}")
+        self.sigma = sigma
+        self.variant = variant
+        self.strategy = resolve_strategy(strategy)
+        self.max_steps = max_steps
+        self.instance = database.copy() if copy_database else database
+        start = max((n.label for n in self.instance.nulls()), default=0) + 1
+        self.nulls = NullFactory(start=start)
+        self.steps: list[StepOutcome] = []
+        self._pending: list[Trigger] = []
+        self._seen: set[Trigger] = set()
+        self._fired_keys: set[tuple] = set()
+        self._key_vars: dict[AnyDependency, tuple[Variable, ...]] = {}
+        if variant != "standard":
+            self._key_vars = {d: _key_variables(d, variant) for d in sigma}
+
+    # -- discovery ---------------------------------------------------------
+
+    def _push(self, trigger: Trigger) -> None:
+        if trigger not in self._seen:
+            self._seen.add(trigger)
+            self._pending.append(trigger)
+
+    def _discover_full(self) -> None:
+        """Full sweep: (re)discover every candidate trigger."""
+        if self.variant == "standard":
+            for dep in self.sigma:
+                for h in violations(self.instance, dep):
+                    self._push(Trigger.make(dep, h))
+        else:
+            for dep in self.sigma:
+                for h in find_homomorphisms(dep.body, self.instance, limit=None):
+                    self._push(Trigger.make(dep, h))
+
+    def _discover_from_facts(self, new_facts: Iterable[Atom]) -> None:
+        """Find candidate triggers whose body uses one of the new facts."""
+        facts = [f for f in new_facts if f in self.instance]
+        if not facts:
+            return
+        by_pred: dict[str, list[Atom]] = {}
+        for f in facts:
+            by_pred.setdefault(f.predicate, []).append(f)
+        for dep in self.sigma:
+            for idx, atom in enumerate(dep.body):
+                for fact in by_pred.get(atom.predicate, ()):
+                    seed = self._seed_from(atom, fact)
+                    if seed is None:
+                        continue
+                    for h in find_homomorphisms(
+                        dep.body, self.instance, seed=seed, limit=None
+                    ):
+                        self._push(Trigger.make(dep, h))
+
+    @staticmethod
+    def _seed_from(atom: Atom, fact: Atom) -> dict | None:
+        """Partial mapping sending ``atom`` onto ``fact`` (or None)."""
+        if atom.arity != fact.arity:
+            return None
+        seed: dict = {}
+        for s, t in zip(atom.args, fact.args):
+            if isinstance(s, Variable):
+                bound = seed.get(s)
+                if bound is None:
+                    seed[s] = t
+                elif bound is not t:
+                    return None
+            elif s is not t:  # constant mismatch
+                return None
+        return seed
+
+    # -- applicability -------------------------------------------------------
+
+    def _applicable(self, trigger: Trigger) -> bool:
+        dep = trigger.dependency
+        h = trigger.mapping()
+        if isinstance(dep, EGD) and h[dep.lhs] is h[dep.rhs]:
+            return False
+        if self.variant == "standard":
+            if isinstance(dep, TGD):
+                seed = {v: h[v] for v in dep.frontier()}
+                ext = find_homomorphism(
+                    dep.head, self.instance, seed=seed, frozen_nulls=True
+                )
+                return ext is None
+            return True
+        key = trigger.key(self._key_vars[dep])
+        return key not in self._fired_keys
+
+    # -- merges ---------------------------------------------------------------
+
+    def _apply_gamma(self, gamma: Substitution) -> list[Atom]:
+        """Rewrite bookkeeping after an EGD merge; returns rewritten facts."""
+        old, new = gamma.old, gamma.new
+        rewritten = [f for f in self.instance.with_term(new)]
+        # with_term(new) after the merge contains both pre-existing facts on
+        # `new` and the rewritten ones; treating all of them as "new facts"
+        # for discovery is harmless (deduped via _seen).
+        self._pending = [t.rewrite(old, new) for t in self._pending]
+        self._seen = set(self._pending)
+        if self._fired_keys:
+            self._fired_keys = {
+                (dep, tuple(new if t is old else t for t in images))
+                for dep, images in self._fired_keys
+            }
+        return rewritten
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> ChaseResult:
+        self._discover_full()
+        while True:
+            if len(self.steps) >= self.max_steps:
+                return ChaseResult(
+                    ChaseStatus.EXCEEDED, self.instance, self.steps, self.variant
+                )
+            trigger = self._next_applicable()
+            if trigger is None:
+                return ChaseResult(
+                    ChaseStatus.SUCCESS, self.instance, self.steps, self.variant
+                )
+            if self.variant != "standard":
+                self._fired_keys.add(trigger.key(self._key_vars[trigger.dependency]))
+            outcome = apply_step(self.instance, trigger, self.nulls)
+            self.steps.append(outcome)
+            if outcome.failed:
+                return ChaseResult(ChaseStatus.FAILURE, None, self.steps, self.variant)
+            if outcome.gamma is not None:
+                rewritten = self._apply_gamma(outcome.gamma)
+                self._discover_from_facts(rewritten)
+            if outcome.added:
+                self._discover_from_facts(outcome.added)
+
+    def _next_applicable(self) -> Trigger | None:
+        """Pop pending triggers per strategy until one is applicable.
+
+        Dead triggers are dropped permanently (see module docstring).  When
+        the pool drains, one full sweep re-checks exhaustiveness before
+        concluding the sequence is finished.
+        """
+        swept = False
+        while True:
+            while self._pending:
+                i = self.strategy(self._pending)
+                trigger = self._pending.pop(i)
+                if self._applicable(trigger):
+                    return trigger
+            if swept:
+                return None
+            self._seen.clear()
+            self._discover_full()
+            self._pending = [t for t in self._pending if self._applicable(t)]
+            self._seen = set(self._pending)
+            swept = True
+            if not self._pending:
+                return None
+
+
+def run_chase(
+    database: Instance,
+    sigma: DependencySet,
+    variant: str = "standard",
+    strategy: Strategy | str = "fifo",
+    max_steps: int = 10_000,
+) -> ChaseResult:
+    """Run one chase sequence of ``database`` with ``sigma``.
+
+    ``variant`` is one of ``standard``, ``oblivious``, ``semi_oblivious``;
+    ``strategy`` resolves the nondeterministic choice among applicable
+    steps.  The input database is not modified.
+    """
+    runner = ChaseRunner(database, sigma, variant, strategy, max_steps)
+    return runner.run()

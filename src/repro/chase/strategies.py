@@ -1,0 +1,103 @@
+"""Chase strategies: how the next applicable trigger is picked.
+
+The standard chase picks nondeterministically among applicable steps;
+different choices yield different sequences (Example 1).  A strategy is a
+callable receiving the list of currently applicable triggers and returning
+the index of the one to fire.
+
+``full_first`` is the strategy behind the paper's existential-termination
+results: full dependencies (full TGDs and EGDs) never create new nulls, so
+saturating them before firing existential TGDs gives EGDs the chance to
+merge nulls away — exactly how Σ1 of Example 1 and Σ11 of Example 11 obtain
+terminating sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from .step import Trigger
+
+Strategy = Callable[[Sequence[Trigger]], int]
+
+
+def fifo(triggers: Sequence[Trigger]) -> int:
+    """Fire the oldest discovered applicable trigger."""
+    return 0
+
+
+def lifo(triggers: Sequence[Trigger]) -> int:
+    """Fire the most recently discovered applicable trigger."""
+    return len(triggers) - 1
+
+
+def full_first(triggers: Sequence[Trigger]) -> int:
+    """Prefer full dependencies (EGDs and full TGDs) over existential TGDs.
+
+    Among full dependencies, EGDs win (merging early keeps instances small).
+    """
+    best = 0
+    best_rank = _rank(triggers[0])
+    for i, t in enumerate(triggers):
+        r = _rank(t)
+        if r < best_rank:
+            best, best_rank = i, r
+    return best
+
+
+def egd_first(triggers: Sequence[Trigger]) -> int:
+    """Prefer EGDs, then anything."""
+    for i, t in enumerate(triggers):
+        if t.dependency.is_egd:
+            return i
+    return 0
+
+
+def existential_first(triggers: Sequence[Trigger]) -> int:
+    """Adversarial strategy: prefer null-creating steps (used in tests to
+    find non-terminating sequences)."""
+    for i, t in enumerate(triggers):
+        if t.dependency.is_existential:
+            return i
+    return 0
+
+
+def _rank(trigger: Trigger) -> int:
+    dep = trigger.dependency
+    if dep.is_egd:
+        return 0
+    if dep.is_full:
+        return 1
+    return 2
+
+
+def random_strategy(seed: int) -> Strategy:
+    """A reproducible random strategy."""
+    rng = random.Random(seed)
+
+    def pick(triggers: Sequence[Trigger]) -> int:
+        return rng.randrange(len(triggers))
+
+    return pick
+
+
+NAMED_STRATEGIES: dict[str, Strategy] = {
+    "fifo": fifo,
+    "lifo": lifo,
+    "full_first": full_first,
+    "egd_first": egd_first,
+    "existential_first": existential_first,
+}
+
+
+def resolve_strategy(strategy: "Strategy | str") -> Strategy:
+    """Accept a strategy callable or one of the registered names."""
+    if callable(strategy):
+        return strategy
+    try:
+        return NAMED_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {sorted(NAMED_STRATEGIES)}"
+        ) from None

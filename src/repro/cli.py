@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``classify FILE``
+    Run the termination-criterion portfolio on a dependency file.
+
+``chase FILE --data FACTS``
+    Run a chase (variant/strategy selectable) and print the result.
+
+``adorn FILE``
+    Run Adn∃ and print the adorned dependencies, definitions and Acyc.
+
+``graph FILE``
+    Print the chase graph and firing graph (optionally as DOT).
+
+``explore FILE --data FACTS``
+    Exhaustively explore the chase's nondeterminism within bounds.
+
+Dependency files use the syntax of :mod:`repro.model.parser`; facts files
+contain atoms such as ``N("a") E("a","b")``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .analysis import classify
+from .chase import explore_chase, run_chase
+from .core import adn_exists
+from .firing import chase_graph, firing_graph, render_graph
+from .firing.graphs import to_dot
+from .model import DependencySet, Instance, parse_dependencies, parse_facts
+
+
+def _load_sigma(path: str) -> DependencySet:
+    return parse_dependencies(pathlib.Path(path).read_text())
+
+
+def _load_facts(spec: str) -> Instance:
+    p = pathlib.Path(spec)
+    text = p.read_text() if p.exists() else spec
+    return parse_facts(text)
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Run the criterion portfolio; exit 0 iff some criterion accepts."""
+    sigma = _load_sigma(args.file)
+    criteria = args.criteria.split(",") if args.criteria else None
+    report = classify(sigma, criteria=criteria)
+    print(report)
+    return 0 if report.guarantees_exists else 1
+
+
+def cmd_chase(args: argparse.Namespace) -> int:
+    """Run one chase sequence; exit 0 on termination, 2 on budget."""
+    sigma = _load_sigma(args.file)
+    db = _load_facts(args.data)
+    result = run_chase(
+        db,
+        sigma,
+        variant=args.variant,
+        strategy=args.strategy,
+        max_steps=args.max_steps,
+    )
+    print(f"status: {result.status.value} after {result.step_count} steps")
+    if result.instance is not None:
+        for fact in sorted(result.instance, key=str):
+            print(f"  {fact}")
+    return 0 if result.terminated else 2
+
+
+def cmd_adorn(args: argparse.Namespace) -> int:
+    """Run Adn∃; exit 0 iff Acyc is true."""
+    sigma = _load_sigma(args.file)
+    result = adn_exists(sigma)
+    print(f"Acyc = {result.acyclic}   |Σ| = {len(sigma)}   "
+          f"|Σµ| = {result.stats['size_adorned']}   "
+          f"({result.stats['elapsed_ms']:.1f} ms)")
+    print("\nadorned dependencies:")
+    for rec in result.records:
+        marker = "·" if rec.is_bridge else "+"
+        print(f"  {marker} {rec.dep}")
+    if result.definitions:
+        print("\nadornment definitions:")
+        for d in result.definitions:
+            print(f"  {d}")
+    return 0 if result.acyclic else 1
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    """Print the chase and firing graphs (text or DOT)."""
+    sigma = _load_sigma(args.file)
+    g = chase_graph(sigma)
+    gf = firing_graph(sigma)
+    if args.dot:
+        print(to_dot(g, "chase_graph"))
+        print(to_dot(gf, "firing_graph"))
+    else:
+        print(render_graph(g, "Chase graph G(Σ)"))
+        print()
+        print(render_graph(gf, "Firing graph Gf(Σ)"))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Explore every chase sequence; exit 0 iff one terminates."""
+    sigma = _load_sigma(args.file)
+    db = _load_facts(args.data)
+    result = explore_chase(
+        db, sigma, variant=args.variant,
+        max_depth=args.max_depth, max_states=args.max_states,
+    )
+    print(f"verdict: {result.verdict.value}")
+    print(f"  terminating leaves: {result.terminating_paths}")
+    print(f"  failing leaves:     {result.failing_paths}")
+    print(f"  cut-off paths:      {result.capped_paths}")
+    print(f"  states explored:    {result.explored_states}")
+    return 0 if result.some_terminating else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chase termination analysis "
+        "(Calautti et al., PVLDB 9(5), 2016 — reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="run the termination criteria portfolio")
+    p.add_argument("file")
+    p.add_argument("--criteria", help="comma-separated subset, e.g. WA,SAC")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("chase", help="run one chase sequence")
+    p.add_argument("file")
+    p.add_argument("--data", required=True, help="facts file or inline facts")
+    p.add_argument("--variant", default="standard",
+                   choices=["standard", "oblivious", "semi_oblivious"])
+    p.add_argument("--strategy", default="full_first")
+    p.add_argument("--max-steps", type=int, default=10_000)
+    p.set_defaults(func=cmd_chase)
+
+    p = sub.add_parser("adorn", help="run the Adn∃ adornment algorithm")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_adorn)
+
+    p = sub.add_parser("graph", help="print the chase / firing graphs")
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("explore", help="explore every chase sequence (bounded)")
+    p.add_argument("file")
+    p.add_argument("--data", required=True)
+    p.add_argument("--variant", default="standard",
+                   choices=["standard", "oblivious", "semi_oblivious"])
+    p.add_argument("--max-depth", type=int, default=12)
+    p.add_argument("--max-states", type=int, default=20_000)
+    p.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's contributions: semi-stratification, the Adn∃ adornment
+algorithm, semi-acyclicity, and the Adn∃-C combination."""
+
+from .adornment import (
+    BOUND,
+    AdnResult,
+    AdornedRecord,
+    AdornmentAlgorithm,
+    AdornmentDefinition,
+    ac_rewriting,
+    adn_exists,
+    decode_predicate,
+    encode_predicate,
+    strip_adornments_dep,
+    strip_adornments_instance,
+)
+from .combined import AdnCombined, adn_combined_check
+from .semi_acyclicity import SemiAcyclicity, is_semi_acyclic
+from .semi_stratification import (
+    SemiStratification,
+    is_semi_stratified,
+    semi_stratification_components,
+)
+
+__all__ = [
+    "BOUND",
+    "AdnResult",
+    "AdornedRecord",
+    "AdornmentAlgorithm",
+    "AdornmentDefinition",
+    "ac_rewriting",
+    "adn_exists",
+    "decode_predicate",
+    "encode_predicate",
+    "strip_adornments_dep",
+    "strip_adornments_instance",
+    "AdnCombined",
+    "adn_combined_check",
+    "SemiAcyclicity",
+    "is_semi_acyclic",
+    "SemiStratification",
+    "is_semi_stratified",
+    "semi_stratification_components",
+]

@@ -1,0 +1,56 @@
+"""Adn∃-C: combining the adornment algorithm with other criteria
+(paper Section 6, Theorems 10 and 11).
+
+Σ ∈ Adn∃-C iff ``Adn∃(Σ)[1]`` — the adorned set Σµ — is recognised by
+criterion C.  Theorem 10: Σ ∈ Adn∃-C implies Σ ∈ CTstd∃ (even when C is a
+CTstd∀ criterion: the adorned set's termination transfers only to the
+existence of a terminating sequence of Σ).  Theorem 11: C ⊊ Adn∃-C for
+every criterion C — preprocessing with Adn∃ strictly enlarges what C
+recognises, because the adorned set has the same or weaker structural
+properties than Σ.
+"""
+
+from __future__ import annotations
+
+from ..criteria.base import (
+    CriterionResult,
+    Guarantee,
+    TerminationCriterion,
+    get_criterion,
+)
+from ..model.dependencies import DependencySet
+from .adornment import AdnResult, adn_exists
+
+
+class AdnCombined(TerminationCriterion):
+    """The criterion Adn∃-C for a given inner criterion C."""
+
+    guarantee = Guarantee.CT_EXISTS
+
+    def __init__(self, inner: TerminationCriterion | str, **adn_kwargs) -> None:
+        if isinstance(inner, str):
+            inner = get_criterion(inner)
+        self.inner = inner
+        self.name = f"Adn-{inner.name}"
+        self._adn_kwargs = adn_kwargs
+        self.last_result: AdnResult | None = None
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        result = adn_exists(sigma, **self._adn_kwargs)
+        self.last_result = result
+        inner_result = self.inner.check(result.adorned)
+        details = {
+            "size_adorned": result.stats["size_adorned"],
+            "adn_exact": result.exact,
+            "inner": inner_result.criterion,
+            "inner_accepted": inner_result.accepted,
+        }
+        exact = result.exact and inner_result.exact
+        return inner_result.accepted, exact, details
+
+
+def adn_combined_check(
+    sigma: DependencySet, criterion: TerminationCriterion | str, **adn_kwargs
+) -> CriterionResult:
+    """One-shot Adn∃-C check."""
+    return AdnCombined(criterion, **adn_kwargs).check(sigma)

@@ -1,0 +1,41 @@
+"""Semi-acyclicity (paper Definition 4).
+
+Σ is *semi-acyclic* (SAC) iff ``Adn∃(Σ)[2]`` is true — the adornment
+algorithm completes without detecting a cyclic adorned head.
+
+Guarantees (Theorem 8): every semi-acyclic Σ admits, for every database D,
+a terminating standard chase sequence of length polynomial in ``|D|``
+(SAC ⊆ CTstd∃).  Expressivity (Theorem 9): S-Str ⊊ SAC and AC ⊊ SAC.
+"""
+
+from __future__ import annotations
+
+from ..criteria.base import Guarantee, TerminationCriterion, register
+from ..model.dependencies import DependencySet
+from .adornment import AdnResult, adn_exists
+
+
+def is_semi_acyclic(sigma: DependencySet, **kwargs) -> bool:
+    """Definition 4: the boolean returned by Adn∃."""
+    return adn_exists(sigma, **kwargs).acyclic
+
+
+@register
+class SemiAcyclicity(TerminationCriterion):
+    """SAC: Adn∃ detects no cyclic adornment."""
+
+    name = "SAC"
+    guarantee = Guarantee.CT_EXISTS
+
+    def __init__(self, **adn_kwargs) -> None:
+        self._adn_kwargs = adn_kwargs
+        self.last_result: AdnResult | None = None
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        result = adn_exists(sigma, **self._adn_kwargs)
+        self.last_result = result
+        details = dict(result.stats)
+        details["adorned_ratio"] = (
+            result.stats["size_adorned"] / max(1, len(sigma))
+        )
+        return result.acyclic, result.exact, details

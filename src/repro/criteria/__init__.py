@@ -1,0 +1,80 @@
+"""Chase termination criteria: baselines from the literature plus the
+registry used by the analysis facade.
+
+Importing this package registers: WA, SC, SwA, Str, CStr, MFA, MSA, AC —
+and, via :mod:`repro.core`, the paper's S-Str and SAC.
+"""
+
+from .acyclicity import Acyclicity, is_acyclic_rewriting
+from .base import (
+    CriterionResult,
+    Guarantee,
+    TerminationCriterion,
+    get_criterion,
+    register,
+    registry,
+)
+from .local_stratification import LocalStratification, is_locally_stratified
+from .mfa import MFA, MSA, is_mfa, is_msa
+from .restriction import (
+    InductiveRestriction,
+    SafeRestriction,
+    is_inductively_restricted,
+    is_safely_restricted,
+)
+from .safety import Safety, affected_positions, is_safe, propagation_graph
+from .stratification import (
+    CStratification,
+    Stratification,
+    is_c_stratified,
+    is_stratified,
+)
+from .super_weak_acyclicity import (
+    SuperWeakAcyclicity,
+    SwAAnalysis,
+    atoms_unify,
+    is_super_weakly_acyclic,
+)
+from .weak_acyclicity import (
+    WeakAcyclicity,
+    dependency_graph,
+    has_special_cycle,
+    is_weakly_acyclic,
+)
+
+__all__ = [
+    "Acyclicity",
+    "is_acyclic_rewriting",
+    "CriterionResult",
+    "Guarantee",
+    "TerminationCriterion",
+    "get_criterion",
+    "register",
+    "registry",
+    "LocalStratification",
+    "is_locally_stratified",
+    "MFA",
+    "MSA",
+    "is_mfa",
+    "is_msa",
+    "InductiveRestriction",
+    "SafeRestriction",
+    "is_inductively_restricted",
+    "is_safely_restricted",
+    "Safety",
+    "affected_positions",
+    "is_safe",
+    "propagation_graph",
+    "CStratification",
+    "Stratification",
+    "is_c_stratified",
+    "is_stratified",
+    "SuperWeakAcyclicity",
+    "SwAAnalysis",
+    "atoms_unify",
+    "is_super_weakly_acyclic",
+    "WeakAcyclicity",
+    "dependency_graph",
+    "has_special_cycle",
+    "is_weakly_acyclic",
+]

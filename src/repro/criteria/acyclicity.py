@@ -1,0 +1,42 @@
+"""The AC (acyclicity) criterion of the rewriting approaches
+(Greco–Spezzano / Greco–Spezzano–Trubitsyna; paper Section 3).
+
+AC adorns the TGDs with bound/free symbols — the same machinery as Adn∃
+but without the EGD execution, without the fireability filter, and with
+label-nesting Ω edges that do not require a firing chain — and accepts
+when no cyclic adornment arises.  It is defined for TGDs only; EGD sets
+are lifted through the substitution-free simulation (the convention the
+paper applies to every TGD-only criterion).
+
+Theorem 9: AC ⊊ SAC.
+"""
+
+from __future__ import annotations
+
+from ..core.adornment import ac_rewriting
+from ..model.dependencies import DependencySet
+from .base import Guarantee, TerminationCriterion, register
+
+
+def is_acyclic_rewriting(sigma: DependencySet) -> tuple[bool, bool]:
+    """(accepted, exact) of the AC rewriting on a TGD-only set."""
+    result = ac_rewriting(sigma)
+    return result.acyclic, result.exact
+
+
+@register
+class Acyclicity(TerminationCriterion):
+    """AC: adornment rewriting without EGD analysis."""
+
+    name = "AC"
+    guarantee = Guarantee.CT_ALL
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        details: dict = {}
+        if sigma.egds:
+            from ..simulation.substitution_free import substitution_free_simulation
+
+            sigma = substitution_free_simulation(sigma)
+            details["simulated"] = True
+        accepted, exact = is_acyclic_rewriting(sigma)
+        return accepted, exact, details

@@ -1,0 +1,106 @@
+"""Common interface for chase termination criteria.
+
+Every criterion is a *decidable sufficient condition*: acceptance implies
+membership in a termination class; rejection says nothing.  The interface
+records which class is guaranteed:
+
+* ``CT_ALL``    — all standard chase sequences terminate (CTstd∀);
+* ``CT_EXISTS`` — at least one standard chase sequence terminates (CTstd∃).
+
+Criteria defined for TGDs only (SwA, MFA, MSA, AC per the paper's
+Section 4) lift to TGD+EGD sets through the substitution-free simulation;
+the lifting is applied by the concrete classes via
+``simulate_if_needed``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..model.dependencies import DependencySet
+
+
+class Guarantee(enum.Enum):
+    """Which termination class a criterion's acceptance guarantees."""
+
+    CT_ALL = "all standard chase sequences terminate"
+    CT_EXISTS = "some standard chase sequence terminates"
+
+
+@dataclass
+class CriterionResult:
+    """Outcome of running one termination criterion."""
+
+    criterion: str
+    accepted: bool
+    guarantee: Guarantee
+    exact: bool = True
+    elapsed_ms: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __str__(self) -> str:
+        verdict = "accepted" if self.accepted else "rejected"
+        approx = "" if self.exact else " (approximate)"
+        return f"{self.criterion}: {verdict}{approx} [{self.elapsed_ms:.1f} ms]"
+
+
+class TerminationCriterion(ABC):
+    """Base class; concrete criteria implement :meth:`_accepts`."""
+
+    #: Short name used in the registry and reports ("WA", "SC", ...).
+    name: str = "?"
+    #: Which termination class acceptance guarantees.
+    guarantee: Guarantee = Guarantee.CT_ALL
+
+    def check(self, sigma: DependencySet) -> CriterionResult:
+        start = time.perf_counter()
+        accepted, exact, details = self._accepts(sigma)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        return CriterionResult(
+            criterion=self.name,
+            accepted=accepted,
+            guarantee=self.guarantee,
+            exact=exact,
+            elapsed_ms=elapsed,
+            details=details,
+        )
+
+    def accepts(self, sigma: DependencySet) -> bool:
+        """Convenience: just the boolean verdict."""
+        return self.check(sigma).accepted
+
+    @abstractmethod
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        """Return (accepted, exact, details)."""
+
+
+_REGISTRY: dict[str, type[TerminationCriterion]] = {}
+
+
+def register(cls: type[TerminationCriterion]) -> type[TerminationCriterion]:
+    """Class decorator adding the criterion to the global registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate criterion name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registry() -> dict[str, type[TerminationCriterion]]:
+    """Name → criterion class for every registered criterion."""
+    return dict(_REGISTRY)
+
+
+def get_criterion(name: str) -> TerminationCriterion:
+    """Instantiate a registered criterion by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown criterion {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

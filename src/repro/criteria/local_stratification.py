@@ -1,0 +1,61 @@
+"""Local stratification (LS) — Greco, Spezzano, Trubitsyna,
+"Stratification criteria and rewriting techniques for checking chase
+termination" (paper Section 3).
+
+LS combines the two ideas its authors developed separately: rewrite the
+TGDs with bound/free adornments (splitting predicates by how nulls flow),
+then apply a stratification-style analysis to the *adorned* set.  It
+extends both SwA and IR (the paper recalls SwA ⊊ LS and IR ⊊ LS), but
+still neglects EGDs — which is exactly the gap Adn∃ fills.
+
+Implementation: the AC adornment rewriting (TGD-only mode of Algorithm 1,
+without the EGD execution and fireability filter) produces the adorned
+set Σα; Σα is accepted if it is c-stratified.  EGD inputs are lifted
+through the substitution-free simulation, per the paper's convention for
+TGD-only criteria.  Documented approximation of [26]'s definition; the
+tests pin LS ⊇ {SwA-recognised, IR-recognised} on the witness families.
+"""
+
+from __future__ import annotations
+
+from ..model.dependencies import DependencySet
+from .base import Guarantee, TerminationCriterion, register
+from .stratification import is_c_stratified
+
+
+def is_locally_stratified(sigma: DependencySet) -> tuple[bool, bool]:
+    """(accepted, exact) for a TGD-only set."""
+    if sigma.egds:
+        raise ValueError("LS is defined for TGDs only; simulate EGDs first")
+    from ..core.adornment import ac_rewriting, strip_adornments_dep
+
+    rewritten = ac_rewriting(sigma)
+    if rewritten.acyclic:
+        # No cyclic adornment at all: already terminating per AC.
+        return True, rewritten.exact
+    # Keep the adorned dependencies (bridges excluded — they are artifacts
+    # of the rewriting, not part of the analysed program).
+    adorned = DependencySet(
+        rec.dep for rec in rewritten.records if not rec.is_bridge
+    )
+    if not len(adorned):
+        return True, rewritten.exact
+    return is_c_stratified(adorned), rewritten.exact
+
+
+@register
+class LocalStratification(TerminationCriterion):
+    """LS: c-stratification of the adornment-rewritten TGDs."""
+
+    name = "LS"
+    guarantee = Guarantee.CT_ALL
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        details: dict = {}
+        if sigma.egds:
+            from ..simulation.substitution_free import substitution_free_simulation
+
+            sigma = substitution_free_simulation(sigma)
+            details["simulated"] = True
+        accepted, exact = is_locally_stratified(sigma)
+        return accepted, exact, details

@@ -1,0 +1,98 @@
+"""Safety (Meier, Schmidt, Lausen — "On chase termination beyond
+stratification").
+
+Safety refines weak acyclicity by restricting attention to *affected*
+positions (Calì–Gottlob–Kifer): the positions that may actually carry
+labelled nulls during the chase.
+
+* A position is affected if an existential variable occurs there in some
+  head, or if some TGD propagates to it a universal variable whose body
+  occurrences are all at affected positions.
+* The propagation graph has the affected positions as vertices; for every
+  TGD and every universal variable ``x`` occurring in body and head whose
+  body occurrences are **all** affected: regular edges from the affected
+  body positions of ``x`` to the affected head positions of ``x``, and
+  special edges from them to the head positions of the existential
+  variables.
+
+Σ is safe iff no cycle of the propagation graph contains a special edge.
+EGDs are ignored (the paper's Section 3: "the latter are neglected
+altogether in the analysis").  Acceptance guarantees CTstd∀, and
+WA ⊆ SC strictly.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..model.atoms import Position
+from ..model.dependencies import DependencySet
+from .base import Guarantee, TerminationCriterion, register
+from .weak_acyclicity import _add_edge, has_special_cycle
+
+
+def affected_positions(sigma: DependencySet) -> set[Position]:
+    """The affected positions of Σ (least fixpoint)."""
+    affected: set[Position] = set()
+    for tgd in sigma.tgds:
+        for z in tgd.existential:
+            affected.update(tgd.head_positions_of(z))
+    changed = True
+    while changed:
+        changed = False
+        for tgd in sigma.tgds:
+            head_vars = tgd.head_variables()
+            for x in tgd.body_variables():
+                if x not in head_vars:
+                    continue
+                body_pos = tgd.body_positions_of(x)
+                if body_pos and all(p in affected for p in body_pos):
+                    for q in tgd.head_positions_of(x):
+                        if q not in affected:
+                            affected.add(q)
+                            changed = True
+    return affected
+
+
+def propagation_graph(sigma: DependencySet) -> nx.DiGraph:
+    """The safety propagation graph (special-edge flags as in WA)."""
+    affected = affected_positions(sigma)
+    g = nx.DiGraph()
+    g.add_nodes_from(sorted(affected))
+    for tgd in sigma.tgds:
+        head_vars = tgd.head_variables()
+        for x in sorted(tgd.body_variables(), key=lambda v: v.name):
+            if x not in head_vars:
+                continue
+            body_pos = tgd.body_positions_of(x)
+            if not body_pos or not all(p in affected for p in body_pos):
+                continue  # x can never carry a null
+            for p in body_pos:
+                for q in tgd.head_positions_of(x):
+                    if q in affected:
+                        _add_edge(g, p, q, special=False)
+                for z in tgd.existential:
+                    for q in tgd.head_positions_of(z):
+                        _add_edge(g, p, q, special=True)
+    return g
+
+
+def is_safe(sigma: DependencySet) -> bool:
+    """SC: no special cycle in the propagation graph."""
+    return not has_special_cycle(propagation_graph(sigma))
+
+
+@register
+class Safety(TerminationCriterion):
+    """SC: weak acyclicity restricted to affected positions."""
+
+    name = "SC"
+    guarantee = Guarantee.CT_ALL
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        g = propagation_graph(sigma)
+        details = {
+            "affected_positions": g.number_of_nodes(),
+            "edges": g.number_of_edges(),
+        }
+        return (not has_special_cycle(g), True, details)

@@ -1,0 +1,102 @@
+"""Weak acyclicity (Fagin, Kolaitis, Miller, Popa — "Data exchange:
+semantics and query answering").
+
+The *dependency graph* of a set of TGDs has the schema's positions as
+vertices.  For every TGD ``ϕ(x,y) → ∃z ψ(x,z)`` and every universally
+quantified variable ``x`` occurring in both body and head:
+
+* a **regular** edge from each body position of ``x`` to each head
+  position of ``x``;
+* a **special** edge from each body position of ``x`` to each head
+  position of every existential variable ``z``.
+
+Σ is weakly acyclic iff no cycle goes through a special edge.  EGDs are
+ignored entirely — exactly the paper's complaint about WA-style criteria
+(Section 1): strong conditions land on the TGDs because the EGDs are never
+analysed.
+
+Acceptance guarantees that **all** standard chase sequences terminate
+(CTstd∀), in polynomially many steps in the size of the data.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..model.atoms import Position
+from ..model.dependencies import DependencySet
+from .base import Guarantee, TerminationCriterion, register
+
+
+def dependency_graph(sigma: DependencySet) -> nx.DiGraph:
+    """Build the (position) dependency graph with ``special`` edge flags.
+
+    Parallel regular/special edges between the same positions collapse to a
+    single edge with ``special=True`` dominant — only "is there a special
+    edge on some cycle" matters.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(sigma.positions())
+    for tgd in sigma.tgds:
+        head_vars = tgd.head_variables()
+        for x in sorted(tgd.body_variables(), key=lambda v: v.name):
+            if x not in head_vars:
+                continue
+            body_positions = tgd.body_positions_of(x)
+            for p in body_positions:
+                for q in tgd.head_positions_of(x):
+                    _add_edge(g, p, q, special=False)
+                for z in tgd.existential:
+                    for q in tgd.head_positions_of(z):
+                        _add_edge(g, p, q, special=True)
+    return g
+
+
+def _add_edge(g: nx.DiGraph, p: Position, q: Position, special: bool) -> None:
+    if g.has_edge(p, q):
+        if special:
+            g[p][q]["special"] = True
+    else:
+        g.add_edge(p, q, special=special)
+
+
+def has_special_cycle(g: nx.DiGraph) -> bool:
+    """True iff some cycle of ``g`` contains a special edge.
+
+    A special edge (u, v) lies on a cycle iff u and v belong to the same
+    strongly connected component.
+    """
+    comp: dict = {}
+    for i, scc in enumerate(nx.strongly_connected_components(g)):
+        for node in scc:
+            comp[node] = i
+    for u, v, data in g.edges(data=True):
+        if data.get("special") and comp[u] == comp[v]:
+            return True
+    return False
+
+
+def is_weakly_acyclic(sigma: DependencySet) -> bool:
+    """The WA test as a plain predicate (used by the stratification family
+    on sub-sets of dependencies)."""
+    return not has_special_cycle(dependency_graph(sigma))
+
+
+@register
+class WeakAcyclicity(TerminationCriterion):
+    """WA: no special-edge cycle in the position dependency graph."""
+
+    name = "WA"
+    guarantee = Guarantee.CT_ALL
+
+    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+        g = dependency_graph(sigma)
+        special_cycle = has_special_cycle(g)
+        details = {
+            "positions": g.number_of_nodes(),
+            "edges": g.number_of_edges(),
+            "special_edges": sum(
+                1 for _, _, d in g.edges(data=True) if d.get("special")
+            ),
+        }
+        return (not special_cycle, True, details)

@@ -1,0 +1,42 @@
+"""Paper examples (Σ1 … Σ11) and Table 1 witness families."""
+
+from .paper import (
+    FIGURE1_CHASE_EDGES,
+    FIGURE1_FIRING_EDGES,
+    all_paper_sets,
+    db_1,
+    db_3,
+    db_6,
+    db_8,
+    db_10,
+    db_11,
+    sigma_1,
+    sigma_3,
+    sigma_6,
+    sigma_8,
+    sigma_10,
+    sigma_11,
+)
+from .witnesses import Claim, WitnessCase, sigma_std_all_not_sobl_exists, witness_cases
+
+__all__ = [
+    "FIGURE1_CHASE_EDGES",
+    "FIGURE1_FIRING_EDGES",
+    "all_paper_sets",
+    "db_1",
+    "db_3",
+    "db_6",
+    "db_8",
+    "db_10",
+    "db_11",
+    "sigma_1",
+    "sigma_3",
+    "sigma_6",
+    "sigma_8",
+    "sigma_10",
+    "sigma_11",
+    "Claim",
+    "WitnessCase",
+    "sigma_std_all_not_sobl_exists",
+    "witness_cases",
+]

@@ -1,0 +1,92 @@
+"""The chase graph G(Σ) and the firing graph Gf(Σ) (paper Section 5).
+
+* ``G(Σ)`` has an edge (r1, r2) iff ``r1 ≺ r2``  — used by stratification;
+* ``Gf(Σ)`` has an edge (r1, r2) iff ``r1 < r2`` — used by
+  semi-stratification (Definition 2); its edges are a subset of G(Σ)'s
+  because the firing relation adds the full-dependency defusal condition
+  for existentially quantified targets.
+
+Figure 1 of the paper shows both graphs for Σ11; the Figure 1 bench and
+tests pin those edge sets.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..model.dependencies import AnyDependency, DependencySet
+from .relations import FiringOracle
+
+
+def chase_graph(
+    sigma: DependencySet, oracle: FiringOracle | None = None
+) -> nx.DiGraph:
+    """Build G(Σ)."""
+    oracle = oracle or FiringOracle(sigma)
+    g = nx.DiGraph()
+    g.add_nodes_from(sigma)
+    for r1 in sigma:
+        for r2 in sigma:
+            if oracle.precedes(r1, r2):
+                g.add_edge(r1, r2)
+    return g
+
+
+def firing_graph(
+    sigma: DependencySet, oracle: FiringOracle | None = None
+) -> nx.DiGraph:
+    """Build Gf(Σ)."""
+    oracle = oracle or FiringOracle(sigma)
+    fulls = tuple(d for d in sigma if d.is_full)
+    g = nx.DiGraph()
+    g.add_nodes_from(sigma)
+    for r1 in sigma:
+        for r2 in sigma:
+            if oracle.fires(r1, r2, fulls=fulls):
+                g.add_edge(r1, r2)
+    return g
+
+
+def oblivious_chase_graph(
+    sigma: DependencySet, budget: int | None = None
+) -> nx.DiGraph:
+    """The chase graph computed with oblivious chase steps (used by
+    c-stratification)."""
+    kwargs = {"budget": budget} if budget is not None else {}
+    oracle = FiringOracle(sigma, step_variant="oblivious", **kwargs)
+    return chase_graph(sigma, oracle)
+
+
+def edge_labels(graph: nx.DiGraph) -> set[tuple[str, str]]:
+    """Edges as (label, label) pairs — convenient for tests and display."""
+    return {
+        (u.label or str(u), v.label or str(v)) for u, v in graph.edges()
+    }
+
+
+def render_graph(graph: nx.DiGraph, title: str) -> str:
+    """A small ASCII rendering used by the Figure 1 bench."""
+    lines = [title, "-" * len(title)]
+    for node in sorted(graph.nodes(), key=lambda d: d.label or str(d)):
+        name = node.label or str(node)
+        succs = sorted(
+            (s.label or str(s)) for s in graph.successors(node)
+        )
+        arrow = " -> " + ", ".join(succs) if succs else "   (no outgoing edges)"
+        lines.append(f"  {name}{arrow}")
+    return "\n".join(lines)
+
+
+def to_dot(graph: nx.DiGraph, name: str = "G") -> str:
+    """Render a chase/firing graph as Graphviz DOT."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes(), key=lambda d: d.label or str(d)):
+        label = node.label or str(node)
+        shape = "ellipse" if node.is_existential else "box"
+        lines.append(f'  "{label}" [shape={shape}];')
+    for u, v in sorted(
+        graph.edges(), key=lambda e: (e[0].label or "", e[1].label or "")
+    ):
+        lines.append(f'  "{u.label or u}" -> "{v.label or v}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Cached oracles for the firing relations over a dependency set.
+
+:class:`FiringOracle` answers ``r1 ≺ r2`` (chase graph) and ``r1 < r2``
+(firing graph, Definition 2) for pairs from a dependency set, caching
+decisions.  The ≺ decision depends only on the pair; the < decision also
+depends on the set of full dependencies (condition (iv)), so its cache is
+keyed accordingly — the adornment algorithm re-queries the oracle as its
+adorned set grows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..model.dependencies import AnyDependency, DependencySet
+from .witness import DEFAULT_BUDGET, FiringDecision, WitnessEngine
+
+
+class FiringOracle:
+    """Decides and caches firing-relation edges."""
+
+    def __init__(
+        self,
+        sigma: DependencySet | Sequence[AnyDependency],
+        step_variant: str = "standard",
+        budget: int = DEFAULT_BUDGET,
+    ) -> None:
+        self.deps = list(sigma)
+        self.step_variant = step_variant
+        self.budget = budget
+        self._precedes_cache: dict[tuple, FiringDecision] = {}
+        self._fires_cache: dict[tuple, FiringDecision] = {}
+        self.ever_inexact = False
+
+    @property
+    def fulls(self) -> list[AnyDependency]:
+        return [d for d in self.deps if d.is_full]
+
+    def precedes(self, r1: AnyDependency, r2: AnyDependency) -> bool:
+        """``r1 ≺ r2``."""
+        key = (r1, r2)
+        decision = self._precedes_cache.get(key)
+        if decision is None:
+            engine = WitnessEngine(r1, r2, (), self.step_variant, self.budget)
+            decision = engine.precedes()
+            self._precedes_cache[key] = decision
+        if not decision.exact:
+            self.ever_inexact = True
+        return decision.edge
+
+    def fires(
+        self,
+        r1: AnyDependency,
+        r2: AnyDependency,
+        fulls: Iterable[AnyDependency] | None = None,
+    ) -> bool:
+        """``r1 < r2`` w.r.t. the full dependencies (defaults to Σ∀)."""
+        fulls = tuple(fulls) if fulls is not None else tuple(self.fulls)
+        key = (r1, r2, frozenset(fulls))
+        decision = self._fires_cache.get(key)
+        if decision is None:
+            engine = WitnessEngine(r1, r2, fulls, self.step_variant, self.budget)
+            decision = engine.fires()
+            self._fires_cache[key] = decision
+        if not decision.exact:
+            self.ever_inexact = True
+        return decision.edge
+
+    def fireable(
+        self,
+        r: AnyDependency,
+        candidates: Iterable[AnyDependency] | None = None,
+        fulls: Iterable[AnyDependency] | None = None,
+    ) -> bool:
+        """Definition 2: r is fireable w.r.t. Σ iff some r2 ∈ Σ has r2 < r."""
+        pool = list(candidates) if candidates is not None else self.deps
+        for r2 in pool:
+            if self.fires(r2, r, fulls=fulls):
+                return True
+        return False

@@ -1,0 +1,28 @@
+"""Workload generators: the Table 2 corpus, seed databases, random sets."""
+
+from .corpus import (
+    DEFAULT_CHARACTER_MIX,
+    DEFAULT_SEED,
+    TABLE2A_CLASSES,
+    GeneratedOntology,
+    OntologyBuilder,
+    corpus_by_class,
+    generate_corpus,
+    resolve_scale,
+)
+from .databases import seed_database, sparse_database
+from .random_deps import random_dependency_set
+
+__all__ = [
+    "DEFAULT_CHARACTER_MIX",
+    "DEFAULT_SEED",
+    "TABLE2A_CLASSES",
+    "GeneratedOntology",
+    "OntologyBuilder",
+    "corpus_by_class",
+    "generate_corpus",
+    "resolve_scale",
+    "seed_database",
+    "sparse_database",
+    "random_dependency_set",
+]

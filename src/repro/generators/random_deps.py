@@ -1,0 +1,71 @@
+"""Unstructured random dependency sets.
+
+Used by property-based tests and the substrate micro-benchmarks: unlike
+:mod:`repro.generators.corpus` these make no attempt to look like
+ontologies — they sample small TGDs/EGDs over a random schema, which is a
+better stressor for the homomorphism and firing machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
+from ..model.terms import Variable
+
+
+def random_dependency_set(
+    seed: int,
+    n_deps: int = 5,
+    n_predicates: int = 3,
+    max_arity: int = 3,
+    max_body_atoms: int = 2,
+    egd_fraction: float = 0.3,
+    existential_fraction: float = 0.5,
+) -> DependencySet:
+    """A reproducible random Σ.  Guaranteed syntactically valid."""
+    rng = random.Random(seed)
+    arities = {
+        f"P{i}": rng.randint(1, max_arity) for i in range(n_predicates)
+    }
+    preds = sorted(arities)
+    vars_pool = [Variable(f"v{i}") for i in range(6)]
+    out = DependencySet()
+    attempts = 0
+    while len(out) < n_deps and attempts < n_deps * 20:
+        attempts += 1
+        body = [
+            _random_atom(rng, preds, arities, vars_pool)
+            for _ in range(rng.randint(1, max_body_atoms))
+        ]
+        body_vars = sorted(
+            {v for a in body for v in a.variables()}, key=lambda v: v.name
+        )
+        if not body_vars:
+            continue
+        if rng.random() < egd_fraction and len(body_vars) >= 2:
+            lhs, rhs = rng.sample(body_vars, 2)
+            out.add(EGD(body, lhs, rhs))
+            continue
+        head_vars = list(body_vars)
+        existential: list[Variable] = []
+        if rng.random() < existential_fraction:
+            z = Variable(f"z{rng.randint(0, 2)}")
+            if z not in body_vars:
+                existential.append(z)
+                head_vars.append(z)
+        head = [_random_atom(rng, preds, arities, head_vars)]
+        head_used = {v for a in head for v in a.variables()}
+        ex_used = [z for z in existential if z in head_used]
+        try:
+            out.add(TGD(body, head, existential=ex_used or None))
+        except ValueError:
+            continue
+    return out.relabel()
+
+
+def _random_atom(rng, preds, arities, vars_pool) -> Atom:
+    p = rng.choice(preds)
+    args = [rng.choice(list(vars_pool)) for _ in range(arities[p])]
+    return Atom(p, args)

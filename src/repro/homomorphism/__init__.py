@@ -1,0 +1,44 @@
+"""Homomorphism search, dependency satisfaction, and core computation."""
+
+from .cores import CoreBudgetExceeded, core, core_of_atoms, is_core
+from .finder import (
+    Homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+    has_homomorphism,
+    homomorphic_image,
+    homomorphically_equivalent,
+    instance_maps_into,
+)
+from .satisfaction import (
+    head_instantiation,
+    is_model,
+    satisfies,
+    satisfies_all,
+    satisfies_instantiated,
+    satisfies_tgd,
+    violating_dependencies,
+    violations,
+)
+
+__all__ = [
+    "CoreBudgetExceeded",
+    "core",
+    "core_of_atoms",
+    "is_core",
+    "Homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "has_homomorphism",
+    "homomorphic_image",
+    "homomorphically_equivalent",
+    "instance_maps_into",
+    "head_instantiation",
+    "is_model",
+    "satisfies",
+    "satisfies_all",
+    "satisfies_instantiated",
+    "satisfies_tgd",
+    "violating_dependencies",
+    "violations",
+]

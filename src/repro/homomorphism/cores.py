@@ -1,0 +1,93 @@
+"""Core computation.
+
+A subset ``C`` of an instance ``J`` is a *core* of ``J`` if there is a
+homomorphism from ``J`` to ``C`` but none from ``J`` to any proper subset of
+``C`` (Section 2).  Cores are unique up to isomorphism.
+
+The algorithm used here is iterated retraction: repeatedly look for a null
+``η`` such that ``J`` maps homomorphically into the sub-instance of facts
+not mentioning ``η`` (constants fixed, nulls flexible); replace ``J`` by
+that homomorphic image and repeat.  When no null can be eliminated the
+instance is its own core.  This is complete: a non-core instance always
+admits a retraction eliminating at least one null (Fagin–Kolaitis–Popa,
+"Data exchange: getting to the core").
+
+Core computation is NP-hard in general; this implementation is exact, with a
+configurable search budget so callers can treat blow-ups like timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.terms import Null
+from .finder import find_homomorphisms
+
+
+class CoreBudgetExceeded(Exception):
+    """Raised when the retraction search exceeds its budget."""
+
+
+class _BudgetedSearch:
+    """Counts homomorphism attempts across rounds against one budget."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, budget: int) -> None:
+        self.remaining = budget
+
+    def charge(self, amount: int = 1) -> None:
+        self.remaining -= amount
+        if self.remaining < 0:
+            raise CoreBudgetExceeded
+
+
+def _try_eliminate(instance: Instance, victim: Null, search: _BudgetedSearch) -> Instance | None:
+    """Retract ``instance`` into its victim-free part if possible."""
+    target_facts = [f for f in instance if victim not in f.args]
+    if len(target_facts) == len(instance):
+        # The victim occurs in no fact (cannot happen with indexes in sync),
+        # nothing to eliminate.
+        return None
+    source = sorted(instance, key=str)
+    search.charge(len(source))
+    for h in find_homomorphisms(source, target_facts, limit=1):
+        return instance.apply(h)
+    return None
+
+
+def core(instance: Instance, budget: int = 2_000_000) -> Instance:
+    """Compute ``core(J)``.
+
+    ``budget`` roughly caps the work done across retraction rounds;
+    :class:`CoreBudgetExceeded` is raised when exhausted (callers treat this
+    like a timeout).
+    """
+    current = instance.copy()
+    search = _BudgetedSearch(budget)
+    progress = True
+    while progress:
+        progress = False
+        for victim in sorted(current.nulls(), key=lambda n: n.label):
+            smaller = _try_eliminate(current, victim, search)
+            if smaller is not None:
+                current = smaller
+                progress = True
+                break
+    return current
+
+
+def is_core(instance: Instance, budget: int = 2_000_000) -> bool:
+    """True iff the instance admits no proper retraction."""
+    search = _BudgetedSearch(budget)
+    for victim in sorted(instance.nulls(), key=lambda n: n.label):
+        if _try_eliminate(instance, victim, search) is not None:
+            return False
+    return True
+
+
+def core_of_atoms(atoms: Iterable[Atom], budget: int = 2_000_000) -> Instance:
+    """Convenience wrapper for raw atom collections."""
+    return core(Instance(atoms), budget=budget)

@@ -1,0 +1,67 @@
+"""Relational model substrate: terms, atoms, dependencies, instances, parser."""
+
+from .atoms import (
+    Atom,
+    Position,
+    apply_mapping,
+    atoms_constants,
+    atoms_nulls,
+    atoms_terms,
+    atoms_variables,
+)
+from .dependencies import EGD, TGD, AnyDependency, Dependency, DependencySet, dependency_set
+from .instances import InconsistencyError, Instance, database, instance_from_tuples
+from .parser import (
+    ParseError,
+    parse_dependencies,
+    parse_dependency,
+    parse_facts,
+    to_text,
+)
+from .schema import Schema
+from .terms import (
+    Constant,
+    GroundTerm,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    constants,
+    fresh_null,
+    variables,
+)
+
+__all__ = [
+    "Atom",
+    "Position",
+    "apply_mapping",
+    "atoms_constants",
+    "atoms_nulls",
+    "atoms_terms",
+    "atoms_variables",
+    "EGD",
+    "TGD",
+    "AnyDependency",
+    "Dependency",
+    "DependencySet",
+    "dependency_set",
+    "InconsistencyError",
+    "Instance",
+    "database",
+    "instance_from_tuples",
+    "ParseError",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_facts",
+    "to_text",
+    "Schema",
+    "Constant",
+    "GroundTerm",
+    "Null",
+    "NullFactory",
+    "Term",
+    "Variable",
+    "constants",
+    "fresh_null",
+    "variables",
+]

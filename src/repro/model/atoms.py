@@ -1,0 +1,173 @@
+"""Atoms and facts.
+
+An atom over a schema is an expression ``R(t1, ..., tn)`` where ``R`` is an
+n-ary predicate and each ``ti`` is a term.  If every ``ti`` is a constant or
+a labelled null, the atom is a *fact* (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .terms import Constant, Null, Term, Variable
+
+
+class Atom:
+    """An immutable, hashable atom ``R(t1, ..., tn)``.
+
+    ``predicate`` is the predicate name (a string); ``args`` is a tuple of
+    :class:`~repro.model.terms.Term`.
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Iterable[Term] = ()) -> None:
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+        for t in self.args:
+            if not isinstance(t, Term):
+                raise TypeError(f"atom argument {t!r} is not a Term")
+        object.__setattr__(self, "_hash", hash((predicate, self.args)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.predicate == other.predicate
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def terms(self) -> Iterator[Term]:
+        return iter(self.args)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.args if isinstance(t, Variable)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self.args if isinstance(t, Constant)}
+
+    def nulls(self) -> set[Null]:
+        return {t for t in self.args if isinstance(t, Null)}
+
+    @property
+    def is_fact(self) -> bool:
+        """True iff every argument is a constant or a labelled null."""
+        return all(not isinstance(t, Variable) for t in self.args)
+
+    @property
+    def is_ground_with_constants(self) -> bool:
+        """True iff every argument is a constant (no nulls, no variables)."""
+        return all(isinstance(t, Constant) for t in self.args)
+
+    def positions(self) -> Iterator[tuple["Position", Term]]:
+        """Yield ``(position, term)`` pairs for this atom."""
+        for i, t in enumerate(self.args):
+            yield Position(self.predicate, i), t
+
+    # -- substitution ------------------------------------------------------
+
+    def apply(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Return the atom with every term replaced per ``mapping``.
+
+        Terms absent from ``mapping`` are left unchanged.  Returns ``self``
+        when nothing changes (preserves interning-friendly identity).
+        """
+        new_args = tuple(mapping.get(t, t) for t in self.args)
+        if new_args == self.args:
+            return self
+        return Atom(self.predicate, new_args)
+
+
+class Position:
+    """A position ``R_i``: the i-th argument slot (0-based) of predicate R.
+
+    Positions are the vertices of the dependency graph used by weak
+    acyclicity and its refinements.
+    """
+
+    __slots__ = ("predicate", "index", "_hash")
+
+    def __init__(self, predicate: str, index: int) -> None:
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "_hash", hash((predicate, index)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Position is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Position):
+            return NotImplemented
+        return self.predicate == other.predicate and self.index == other.index
+
+    def __lt__(self, other: "Position") -> bool:
+        return (self.predicate, self.index) < (other.predicate, other.index)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Position({self.predicate!r}, {self.index})"
+
+    def __str__(self) -> str:
+        return f"{self.predicate}[{self.index + 1}]"
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> set[Variable]:
+    """All variables occurring in a collection of atoms."""
+    out: set[Variable] = set()
+    for a in atoms:
+        out.update(a.variables())
+    return out
+
+
+def atoms_constants(atoms: Iterable[Atom]) -> set[Constant]:
+    """All constants occurring in a collection of atoms."""
+    out: set[Constant] = set()
+    for a in atoms:
+        out.update(a.constants())
+    return out
+
+
+def atoms_nulls(atoms: Iterable[Atom]) -> set[Null]:
+    """All labelled nulls occurring in a collection of atoms."""
+    out: set[Null] = set()
+    for a in atoms:
+        out.update(a.nulls())
+    return out
+
+
+def atoms_terms(atoms: Iterable[Atom]) -> set[Term]:
+    """``Dom(A)``: all terms occurring in a collection of atoms."""
+    out: set[Term] = set()
+    for a in atoms:
+        out.update(a.args)
+    return out
+
+
+def apply_mapping(atoms: Iterable[Atom], mapping: Mapping[Term, Term]) -> list[Atom]:
+    """Apply a term mapping to every atom, preserving order."""
+    return [a.apply(mapping) for a in atoms]

@@ -1,0 +1,194 @@
+"""Instances and databases.
+
+An *instance* is a set of facts (atoms over constants and labelled nulls);
+a *database* is an instance containing only constants (Section 2).
+
+:class:`Instance` maintains two indexes that the rest of the system depends
+on for performance:
+
+* a predicate index (``predicate → set of facts``) used by the homomorphism
+  finder, and
+* a term index (``term → set of facts containing it``) used by EGD chase
+  steps, which must rewrite every fact mentioning the merged null.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Atom
+from .terms import Constant, GroundTerm, Null, Term, Variable
+
+
+class InconsistencyError(Exception):
+    """Raised when an EGD step would equate two distinct constants.
+
+    This is the ``J = ⊥`` case of Definition 1(2a): the chase sequence fails.
+    """
+
+
+class Instance:
+    """A mutable set of facts with predicate and term indexes."""
+
+    __slots__ = ("_facts", "_by_predicate", "_by_term")
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._facts: set[Atom] = set()
+        self._by_predicate: dict[str, set[Atom]] = {}
+        self._by_term: dict[Term, set[Atom]] = {}
+        for f in facts:
+            self.add(f)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Add a fact; returns True if it was new."""
+        if not fact.is_fact:
+            raise ValueError(f"{fact} contains variables and is not a fact")
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_predicate.setdefault(fact.predicate, set()).add(fact)
+        for t in fact.args:
+            self._by_term.setdefault(t, set()).add(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; returns how many were new."""
+        return sum(1 for f in facts if self.add(f))
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove a fact if present; returns True if it was there."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        bucket = self._by_predicate.get(fact.predicate)
+        if bucket is not None:
+            bucket.discard(fact)
+            if not bucket:
+                del self._by_predicate[fact.predicate]
+        for t in set(fact.args):
+            tb = self._by_term.get(t)
+            if tb is not None:
+                tb.discard(fact)
+                if not tb:
+                    del self._by_term[t]
+        return True
+
+    def merge_terms(self, old: Null, new: GroundTerm) -> None:
+        """Replace every occurrence of the null ``old`` by ``new`` in place.
+
+        This is the effect of an EGD chase step's substitution γ = {old/new}.
+        """
+        if old is new:
+            return
+        if not isinstance(old, Null):
+            raise TypeError("only labelled nulls can be merged away")
+        touched = list(self._by_term.get(old, ()))
+        mapping = {old: new}
+        for fact in touched:
+            self.discard(fact)
+            self.add(fact.apply(mapping))
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - identity use only
+        raise TypeError("Instance is mutable and unhashable; use frozen()")
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self)} facts)"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(str(f) for f in self._facts)) + "}"
+
+    def facts(self) -> frozenset[Atom]:
+        return frozenset(self._facts)
+
+    def frozen(self) -> frozenset[Atom]:
+        return frozenset(self._facts)
+
+    def copy(self) -> "Instance":
+        out = Instance()
+        # Rebuild indexes by direct copying (faster than re-adding).
+        out._facts = set(self._facts)
+        out._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
+        out._by_term = {t: set(s) for t, s in self._by_term.items()}
+        return out
+
+    def with_predicate(self, predicate: str) -> set[Atom]:
+        """All facts over ``predicate`` (empty set if none)."""
+        return self._by_predicate.get(predicate, set())
+
+    def with_term(self, term: Term) -> set[Atom]:
+        """All facts mentioning ``term``."""
+        return self._by_term.get(term, set())
+
+    def predicates(self) -> set[str]:
+        return set(self._by_predicate)
+
+    def domain(self) -> set[Term]:
+        """``Dom``: all terms occurring in the instance."""
+        return set(self._by_term)
+
+    def nulls(self) -> set[Null]:
+        return {t for t in self._by_term if isinstance(t, Null)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self._by_term if isinstance(t, Constant)}
+
+    @property
+    def is_database(self) -> bool:
+        """True iff only constants appear (the paper's notion of database)."""
+        return not self.nulls()
+
+    def null_free_part(self) -> "Instance":
+        """``J↓``: the facts that contain no labelled nulls."""
+        return Instance(f for f in self._facts if not f.nulls())
+
+    def apply(self, mapping: Mapping[Term, Term]) -> "Instance":
+        """A new instance with the mapping applied to every fact."""
+        return Instance(f.apply(mapping) for f in self._facts)
+
+
+def database(*facts: Atom) -> Instance:
+    """Build a database, checking that no nulls appear."""
+    inst = Instance(facts)
+    if not inst.is_database:
+        raise ValueError("databases may not contain labelled nulls")
+    return inst
+
+
+def instance_from_tuples(rows: Mapping[str, Iterable[tuple]]) -> Instance:
+    """Build an instance from ``{"R": [(a, b), ...], ...}``.
+
+    Python values become constants; :class:`Null` / :class:`Constant`
+    instances are used as-is.  Example::
+
+        instance_from_tuples({"N": [("a",)], "E": [("a", "b")]})
+    """
+    inst = Instance()
+    for pred, tuples in rows.items():
+        for row in tuples:
+            args = [
+                t if isinstance(t, (Constant, Null)) else Constant(t) for t in row
+            ]
+            if any(isinstance(t, Variable) for t in args):
+                raise ValueError("facts may not contain variables")
+            inst.add(Atom(pred, args))
+    return inst

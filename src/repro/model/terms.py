@@ -1,0 +1,192 @@
+"""Terms of the relational model: constants, labelled nulls, and variables.
+
+The paper (Section 2) assumes three pairwise disjoint infinite sets of
+symbols: ``Consts`` (constants), ``Nulls`` (labelled nulls), and ``Vars``
+(variables).  A *term* is an element of any of the three sets.
+
+All term classes here are immutable, hashable and interned: constructing the
+same term twice yields the same object, so identity comparison is safe and
+sets/dicts over terms are fast.  Interning matters because the chase engine
+and the homomorphism finder handle millions of term lookups on larger
+workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Union
+
+
+class Term:
+    """Abstract base class for constants, labelled nulls, and variables."""
+
+    __slots__ = ()
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_null(self) -> bool:
+        return isinstance(self, Null)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+
+class Constant(Term):
+    """A constant from ``Consts``.
+
+    Constants are identified by their ``value`` (any hashable Python object;
+    strings and integers in practice).  Homomorphisms fix constants:
+    ``h(c) = c``.
+    """
+
+    __slots__ = ("value", "__weakref__")
+
+    _intern: dict[object, "Constant"] = {}
+    _lock = threading.Lock()
+
+    def __new__(cls, value: object) -> "Constant":
+        cached = cls._intern.get(value)
+        if cached is not None:
+            return cached
+        with cls._lock:
+            cached = cls._intern.get(value)
+            if cached is None:
+                cached = super().__new__(cls)
+                object.__setattr__(cached, "value", value)
+                cls._intern[value] = cached
+        return cached
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constant is immutable")
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return f'"{self.value}"' if isinstance(self.value, str) else str(self.value)
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
+
+    # Interning makes default identity-based __eq__/__hash__ correct.
+
+
+class Null(Term):
+    """A labelled null from ``Nulls``.
+
+    Nulls are identified by an integer label.  Fresh nulls are produced by
+    :func:`fresh_null`; the chase uses them as the witnesses for
+    existentially quantified variables.
+    """
+
+    __slots__ = ("label", "__weakref__")
+
+    _intern: dict[int, "Null"] = {}
+    _lock = threading.Lock()
+
+    def __new__(cls, label: int) -> "Null":
+        cached = cls._intern.get(label)
+        if cached is not None:
+            return cached
+        with cls._lock:
+            cached = cls._intern.get(label)
+            if cached is None:
+                cached = super().__new__(cls)
+                object.__setattr__(cached, "label", label)
+                cls._intern[label] = cached
+        return cached
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Null is immutable")
+
+    def __repr__(self) -> str:
+        return f"Null({self.label})"
+
+    def __str__(self) -> str:
+        return f"η{self.label}"  # η1, η2, ...
+
+    def __reduce__(self):
+        return (Null, (self.label,))
+
+
+class Variable(Term):
+    """A variable from ``Vars``, identified by its name."""
+
+    __slots__ = ("name", "__weakref__")
+
+    _intern: dict[str, "Variable"] = {}
+    _lock = threading.Lock()
+
+    def __new__(cls, name: str) -> "Variable":
+        cached = cls._intern.get(name)
+        if cached is not None:
+            return cached
+        with cls._lock:
+            cached = cls._intern.get(name)
+            if cached is None:
+                cached = super().__new__(cls)
+                object.__setattr__(cached, "name", name)
+                cls._intern[name] = cached
+        return cached
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Variable is immutable")
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
+
+GroundTerm = Union[Constant, Null]
+
+
+class NullFactory:
+    """A source of fresh labelled nulls.
+
+    Each chase run owns its own factory so that null labels are reproducible
+    run-to-run (the global counter alternative would leak state between
+    runs and make tests order-dependent).
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> Null:
+        return Null(next(self._counter))
+
+    def fresh_many(self, n: int) -> list[Null]:
+        return [self.fresh() for _ in range(n)]
+
+
+_GLOBAL_FACTORY = NullFactory(start=1_000_000)
+
+
+def fresh_null() -> Null:
+    """Return a fresh null from the module-global factory.
+
+    Reserved for ad-hoc uses (tests, examples); the chase engine always uses
+    a run-local :class:`NullFactory`.
+    """
+    return _GLOBAL_FACTORY.fresh()
+
+
+def variables(names: str) -> tuple[Variable, ...]:
+    """Convenience: ``x, y, z = variables("x y z")``."""
+    return tuple(Variable(n) for n in names.split())
+
+
+def constants(values: str) -> tuple[Constant, ...]:
+    """Convenience: ``a, b = constants("a b")``."""
+    return tuple(Constant(v) for v in values.split())

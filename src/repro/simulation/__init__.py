@@ -1,0 +1,20 @@
+"""EGD→TGD simulations: natural and substitution-free."""
+
+from .natural import congruence_rules, natural_simulation
+from .substitution_free import (
+    EQ,
+    enumerate_choices,
+    equality_axioms,
+    split_repeated_variables,
+    substitution_free_simulation,
+)
+
+__all__ = [
+    "congruence_rules",
+    "natural_simulation",
+    "EQ",
+    "enumerate_choices",
+    "equality_axioms",
+    "split_repeated_variables",
+    "substitution_free_simulation",
+]

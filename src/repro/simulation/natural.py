@@ -1,0 +1,62 @@
+"""The natural simulation of EGDs by TGDs (Gottlob–Nash, "Efficient core
+computation in data exchange"; recalled in the paper's Section 4).
+
+The natural simulation keeps dependency bodies intact and instead makes
+``Eq`` a congruence: besides reflexivity/symmetry/transitivity, one
+*substitution rule* per predicate position propagates equality into every
+atom::
+
+    R(x1, …, xi, …, xn) ∧ Eq(xi, y) → R(x1, …, y, …, xn)
+
+EGD heads become ``Eq`` atoms as in the substitution-free simulation.  The
+substitution-free simulation refines this construction (fewer rules fire),
+which is why the paper's Section 4 analyses only the latter; we provide
+both for completeness and for the simulation bench.
+"""
+
+from __future__ import annotations
+
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, DependencySet
+from ..model.terms import Variable
+from .substitution_free import EQ, equality_axioms
+
+
+def congruence_rules(sigma: DependencySet, eq: str = EQ) -> list[TGD]:
+    """The per-position substitution rules making Eq a congruence."""
+    rules = []
+    y = Variable("y_subst")
+    for pred, arity in sorted(sigma.predicates().items()):
+        if pred == eq:
+            continue
+        for i in range(arity):
+            args = [Variable(f"x{k + 1}") for k in range(arity)]
+            new_args = list(args)
+            new_args[i] = y
+            rules.append(
+                TGD(
+                    [Atom(pred, args), Atom(eq, (args[i], y))],
+                    [Atom(pred, new_args)],
+                    label=f"eq_subst_{pred}_{i + 1}",
+                )
+            )
+    return rules
+
+
+def natural_simulation(sigma: DependencySet, eq: str = EQ) -> DependencySet:
+    """The natural simulation Σ → Σ′ (TGDs only)."""
+    out = DependencySet(equality_axioms(sigma, eq))
+    for rule in congruence_rules(sigma, eq):
+        out.add(rule)
+    for dep in sigma:
+        if isinstance(dep, EGD):
+            out.add(
+                TGD(
+                    dep.body,
+                    [Atom(eq, (dep.lhs, dep.rhs))],
+                    label=f"{dep.label}_eq" if dep.label else "",
+                )
+            )
+        else:
+            out.add(dep)
+    return out

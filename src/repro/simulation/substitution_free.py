@@ -1,0 +1,165 @@
+"""The substitution-free simulation of EGDs by TGDs (Marnette, recalled in
+the paper's Section 4 and Example 8).
+
+Given Σ with TGDs and EGDs, produce a TGD-only Σ′:
+
+1. add the equality axioms — symmetry and transitivity of a fresh ``Eq``
+   predicate, plus one reflexivity generator per predicate
+   (``R(x1..xn) → Eq(x1,x1) ∧ … ∧ Eq(xn,xn)``);
+2. replace every EGD head ``x1 = x2`` by ``Eq(x1, x2)``;
+3. for every dependency whose body mentions a variable more than once
+   (outside ``Eq`` atoms), split occurrences: one occurrence of ``x`` is
+   replaced by a fresh ``x_k`` and ``Eq(x, x_k)`` is added to the body,
+   until every variable occurs at most once among the ordinary body atoms.
+   The split occurrence is chosen non-deterministically in the paper; we
+   take the first occurrence in atom order (``enumerate_choices`` yields
+   every choice for the analyses that want the disjunction over choices).
+
+The simulation is **sound** (Theorem 2.1: termination of Σ′ implies
+termination of Σ for every chase variant and both quantifiers) but **not
+complete** (Theorem 2.2) — Σ8 of Example 8 terminates while no simulation
+of it does; the simulation bench demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
+from ..model.terms import Variable
+
+EQ = "Eq"
+
+
+def equality_axioms(sigma: DependencySet, eq: str = EQ) -> list[TGD]:
+    """Symmetry, transitivity, and per-predicate reflexivity generators."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    axioms = [
+        TGD([Atom(eq, (x, y))], [Atom(eq, (y, x))], label="eq_sym"),
+        TGD(
+            [Atom(eq, (x, y)), Atom(eq, (y, z))],
+            [Atom(eq, (x, z))],
+            label="eq_trans",
+        ),
+    ]
+    for pred, arity in sorted(sigma.predicates().items()):
+        if pred == eq or arity == 0:
+            continue
+        args = [Variable(f"x{i + 1}") for i in range(arity)]
+        axioms.append(
+            TGD(
+                [Atom(pred, args)],
+                [Atom(eq, (v, v)) for v in args],
+                label=f"eq_refl_{pred}",
+            )
+        )
+    return axioms
+
+
+def _occurrences(body: list[Atom], eq: str) -> dict[Variable, list[tuple[int, int]]]:
+    """Variable → list of (atom index, arg position) over non-Eq atoms."""
+    occ: dict[Variable, list[tuple[int, int]]] = {}
+    for ai, atom in enumerate(body):
+        if atom.predicate == eq:
+            continue
+        for pi, t in enumerate(atom.args):
+            if isinstance(t, Variable):
+                occ.setdefault(t, []).append((ai, pi))
+    return occ
+
+
+def _split_once(
+    body: list[Atom],
+    var: Variable,
+    occurrence: tuple[int, int],
+    fresh_index: int,
+    eq: str,
+) -> tuple[list[Atom], Variable]:
+    """Replace one occurrence of ``var`` with a fresh variable + Eq atom."""
+    ai, pi = occurrence
+    fresh = Variable(f"{var.name}_{fresh_index}")
+    atom = body[ai]
+    args = list(atom.args)
+    args[pi] = fresh
+    new_body = list(body)
+    new_body[ai] = Atom(atom.predicate, args)
+    new_body.append(Atom(eq, (var, fresh)))
+    return new_body, fresh
+
+
+def split_repeated_variables(
+    dep: AnyDependency, eq: str = EQ, choose_first: bool = True
+) -> AnyDependency:
+    """Apply step 3 to one dependency (deterministic first-occurrence)."""
+    body = list(dep.body)
+    counter = itertools.count(2)
+    while True:
+        occ = _occurrences(body, eq)
+        repeated = [
+            (v, places) for v, places in sorted(occ.items(), key=lambda p: p[0].name)
+            if len(places) > 1
+        ]
+        if not repeated:
+            break
+        var, places = repeated[0]
+        place = places[0] if choose_first else places[-1]
+        body, _ = _split_once(body, var, place, next(counter), eq)
+    if isinstance(dep, TGD):
+        return TGD(body, dep.head, label=dep.label)
+    return EGD(body, dep.lhs, dep.rhs, label=dep.label)
+
+
+def substitution_free_simulation(
+    sigma: DependencySet, eq: str = EQ
+) -> DependencySet:
+    """The full simulation Σ → Σ′ (deterministic occurrence choices)."""
+    out = DependencySet(equality_axioms(sigma, eq))
+    for dep in sigma:
+        if isinstance(dep, EGD):
+            rewritten: AnyDependency = TGD(
+                dep.body,
+                [Atom(eq, (dep.lhs, dep.rhs))],
+                label=f"{dep.label}_eq" if dep.label else "",
+            )
+        else:
+            rewritten = dep
+        out.add(split_repeated_variables(rewritten, eq))
+    return out
+
+
+def enumerate_choices(
+    dep: AnyDependency, eq: str = EQ, limit: int = 64
+) -> Iterator[AnyDependency]:
+    """All substitution-free variants of one dependency (the paper's
+    non-deterministic replacement), capped at ``limit``."""
+    seen: set[AnyDependency] = set()
+
+    def rec(body: list[Atom], fresh_index: int) -> Iterator[list[Atom]]:
+        occ = _occurrences(body, eq)
+        repeated = [
+            (v, places) for v, places in sorted(occ.items(), key=lambda p: p[0].name)
+            if len(places) > 1
+        ]
+        if not repeated:
+            yield body
+            return
+        var, places = repeated[0]
+        for place in places:
+            new_body, _ = _split_once(body, var, place, fresh_index, eq)
+            yield from rec(new_body, fresh_index + 1)
+
+    count = 0
+    if isinstance(dep, EGD):
+        base: AnyDependency = TGD(dep.body, [Atom(eq, (dep.lhs, dep.rhs))], label=dep.label)
+    else:
+        base = dep
+    for body in rec(list(base.body), 2):
+        variant = TGD(body, base.head, label=base.label)  # type: ignore[union-attr]
+        if variant not in seen:
+            seen.add(variant)
+            count += 1
+            yield variant
+            if count >= limit:
+                return

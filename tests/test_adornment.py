@@ -1,0 +1,152 @@
+"""Adn∃ algorithm tests (Section 6, Algorithm 1, Examples 12 and 13)."""
+
+import pytest
+
+from repro.core import (
+    AdnResult,
+    AdornmentAlgorithm,
+    adn_exists,
+    decode_predicate,
+    encode_predicate,
+    is_semi_acyclic,
+    strip_adornments_dep,
+    strip_adornments_instance,
+)
+from repro.core.adornment import BOUND
+from repro.data import sigma_1, sigma_3, sigma_8, sigma_10, sigma_11
+from repro.model import Atom, Constant, Instance, Null, parse_dependencies
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        name = encode_predicate("E", (BOUND, 1, 12))
+        assert name == "E^bf1f12"
+        assert decode_predicate(name) == ("E", (BOUND, 1, 12))
+
+    def test_unadorned(self):
+        assert decode_predicate("E") is None
+
+    def test_empty_adornment(self):
+        name = encode_predicate("P", ())
+        assert decode_predicate(name) == ("P", ())
+
+
+class TestExample12:
+    """The paper's full trace of Adn∃ on Σ1."""
+
+    def test_acyclic_true(self):
+        assert adn_exists(sigma_1()).acyclic
+        assert is_semi_acyclic(sigma_1())
+
+    def test_final_adorned_set(self):
+        result = adn_exists(sigma_1())
+        rendered = {str(r.dep) for r in result.records if r.src is not None}
+        # After τ = {f1/b}: s3, s4, s'5 (plus the EGD s6 collapses into s3).
+        assert "E^bb(x, y) → x = y" in rendered
+        assert "E^bb(x, y) → N^b(y)" in rendered
+        assert "N^b(x) → ∃y E^bb(x, y)" in rendered
+        # No free symbols survive anywhere.
+        assert not any("f" in str(r.dep).split("(")[0] for r in result.records)
+
+    def test_definitions_emptied_by_tau(self):
+        # The chase step over Dµ deletes f1's definition (line 10).
+        result = adn_exists(sigma_1())
+        assert result.definitions == []
+
+    def test_bridge_dependencies_present(self):
+        result = adn_exists(sigma_1())
+        bridges = [r for r in result.records if r.is_bridge]
+        assert len(bridges) == 2  # N and E
+
+
+class TestExample13:
+    """Adn∃ on Σ10 detects the cyclic adornment."""
+
+    def test_acyclic_false(self):
+        result = adn_exists(sigma_10())
+        assert not result.acyclic
+        assert not is_semi_acyclic(sigma_10())
+
+    def test_nested_definitions_detected(self):
+        result = adn_exists(sigma_10())
+        # A definition whose argument is itself a defined symbol must
+        # exist (the f1/f3 nesting of the paper's trace).
+        defined = {d.symbol for d in result.definitions}
+        nested = [
+            d for d in result.definitions
+            if any(isinstance(a, int) and a in defined for a in d.args)
+        ]
+        assert nested
+
+
+class TestDMu:
+    def test_d_mu_terms(self):
+        algo = AdornmentAlgorithm(sigma_1())
+        algo._init_bridges()
+        d_mu = algo.d_mu()
+        # Initially only the all-b facts from the bridges.
+        assert d_mu.facts() == {
+            Atom("N", (Constant(BOUND),)),
+            Atom("E", (Constant(BOUND), Constant(BOUND))),
+        }
+
+
+class TestOtherSets:
+    def test_sigma3_accepted(self):
+        assert adn_exists(sigma_3()).acyclic
+
+    def test_sigma8_accepted(self):
+        # Σ8 ∈ CTstd∀; the direct EGD analysis sees the merges.
+        assert adn_exists(sigma_8()).acyclic
+
+    def test_sigma11_accepted(self):
+        assert adn_exists(sigma_11()).acyclic
+
+    def test_plain_cycle_rejected(self):
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y)
+            r2: R(x, y) -> A(y)
+            """
+        )
+        assert not adn_exists(sigma).acyclic
+
+    def test_result_unpacks_like_paper_pair(self):
+        result = adn_exists(sigma_3())
+        mu, acyc = result
+        assert acyc is True and len(mu) == result.stats["size_adorned"]
+        assert result[1] is True
+
+
+class TestStripAdornments:
+    def test_strip_dep(self):
+        result = adn_exists(sigma_1())
+        for rec in result.records:
+            if rec.src is not None:
+                assert strip_adornments_dep(rec.dep) == rec.src
+
+    def test_strip_instance(self):
+        inst = Instance([Atom("E^bf1", (Constant("a"), Null(1)))])
+        out = strip_adornments_instance(inst)
+        assert out.facts() == {Atom("E", (Constant("a"), Null(1)))}
+
+
+class TestModes:
+    def test_ac_mode_rejects_egds(self):
+        with pytest.raises(ValueError):
+            AdornmentAlgorithm(sigma_1(), mode="ac")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            AdornmentAlgorithm(sigma_3(), mode="nope")
+
+    def test_caps_flag_inexact(self):
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y)
+            r2: R(x, y) -> A(y)
+            """
+        )
+        result = adn_exists(sigma, max_records=6)
+        assert not result.acyclic
+        assert not result.exact

@@ -1,0 +1,88 @@
+"""Unit tests for atoms and positions."""
+
+import pytest
+
+from repro.model import Atom, Constant, Null, Position, Variable
+from repro.model.atoms import atoms_nulls, atoms_terms, atoms_variables
+
+x, y = Variable("x"), Variable("y")
+a, b = Constant("a"), Constant("b")
+n1 = Null(1)
+
+
+class TestAtomBasics:
+    def test_equality_and_hash(self):
+        assert Atom("E", (x, y)) == Atom("E", (x, y))
+        assert hash(Atom("E", (x, y))) == hash(Atom("E", (x, y)))
+        assert Atom("E", (x, y)) != Atom("E", (y, x))
+        assert Atom("E", (x, y)) != Atom("F", (x, y))
+
+    def test_arity(self):
+        assert Atom("E", (x, y)).arity == 2
+        assert Atom("P", ()).arity == 0
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("E", ("not a term",))
+
+    def test_immutability(self):
+        atom = Atom("E", (x, y))
+        with pytest.raises(AttributeError):
+            atom.predicate = "F"
+
+    def test_str(self):
+        assert str(Atom("E", (a, n1))) == 'E("a", η1)'
+
+
+class TestFactChecks:
+    def test_is_fact(self):
+        assert Atom("E", (a, n1)).is_fact
+        assert not Atom("E", (a, x)).is_fact
+
+    def test_is_ground_with_constants(self):
+        assert Atom("E", (a, b)).is_ground_with_constants
+        assert not Atom("E", (a, n1)).is_ground_with_constants
+
+
+class TestApply:
+    def test_apply_mapping(self):
+        atom = Atom("E", (x, y))
+        assert atom.apply({x: a, y: n1}) == Atom("E", (a, n1))
+
+    def test_apply_partial(self):
+        atom = Atom("E", (x, y))
+        assert atom.apply({x: a}) == Atom("E", (a, y))
+
+    def test_apply_identity_returns_self(self):
+        atom = Atom("E", (a, b))
+        assert atom.apply({x: b}) is atom
+
+    def test_apply_does_not_touch_constants_unless_mapped(self):
+        atom = Atom("E", (a, x))
+        out = atom.apply({a: b, x: y})
+        assert out == Atom("E", (b, y))
+
+
+class TestTermSets:
+    def test_variables(self):
+        assert Atom("E", (x, a)).variables() == {x}
+        assert atoms_variables([Atom("E", (x, y)), Atom("N", (x,))]) == {x, y}
+
+    def test_nulls_and_terms(self):
+        atoms = [Atom("E", (a, n1))]
+        assert atoms_nulls(atoms) == {n1}
+        assert atoms_terms(atoms) == {a, n1}
+
+
+class TestPosition:
+    def test_equality_ordering(self):
+        assert Position("E", 0) == Position("E", 0)
+        assert Position("E", 0) != Position("E", 1)
+        assert Position("E", 0) < Position("E", 1) < Position("F", 0)
+
+    def test_str_is_one_based(self):
+        assert str(Position("E", 0)) == "E[1]"
+
+    def test_positions_iterator(self):
+        pos = list(Atom("E", (x, a)).positions())
+        assert pos == [(Position("E", 0), x), (Position("E", 1), a)]

@@ -1,0 +1,125 @@
+"""CLI tests: every command end-to-end via main()."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+SIGMA1 = """
+r1: N(x) -> exists y. E(x, y)
+r2: E(x, y) -> N(y)
+r3: E(x, y) -> x = y
+"""
+
+SIGMA3 = """
+r1: P(x, y) -> exists z. E(x, z)
+r2: Q(x, y) -> exists z. E(z, y)
+"""
+
+
+@pytest.fixture
+def sigma1_file(tmp_path):
+    p = tmp_path / "sigma1.deps"
+    p.write_text(SIGMA1)
+    return str(p)
+
+
+@pytest.fixture
+def sigma3_file(tmp_path):
+    p = tmp_path / "sigma3.deps"
+    p.write_text(SIGMA3)
+    return str(p)
+
+
+class TestClassify:
+    def test_accepting_exit_code(self, sigma1_file, capsys):
+        assert main(["classify", sigma1_file]) == 0
+        out = capsys.readouterr().out
+        assert "SAC" in out and "terminating" in out
+
+    def test_criteria_subset(self, sigma1_file, capsys):
+        assert main(["classify", sigma1_file, "--criteria", "WA,SAC"]) == 0
+        out = capsys.readouterr().out
+        assert "SwA" not in out
+
+    def test_rejecting_exit_code(self, tmp_path, capsys):
+        p = tmp_path / "bad.deps"
+        p.write_text(
+            "r1: N(x) -> exists y, z. E(x, y, z)\n"
+            "r2: E(x, y, y) -> N(y)\n"
+            "r3: E(x, y, z) -> y = z\n"
+        )
+        assert main(["classify", str(p)]) == 1
+
+
+class TestChase:
+    def test_inline_facts(self, sigma1_file, capsys):
+        code = main(
+            ["chase", sigma1_file, "--data", 'N("a")', "--strategy", "full_first"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success" in out and 'E("a", "a")' in out
+
+    def test_facts_file(self, sigma1_file, tmp_path, capsys):
+        facts = tmp_path / "db.facts"
+        facts.write_text('N("a")')
+        assert main(["chase", sigma1_file, "--data", str(facts)]) == 0
+
+    def test_exceeded_exit_code(self, sigma1_file, capsys):
+        code = main(
+            [
+                "chase", sigma1_file, "--data", 'N("a")',
+                "--strategy", "existential_first", "--max-steps", "20",
+            ]
+        )
+        assert code == 2
+
+
+class TestAdorn:
+    def test_acyclic(self, sigma1_file, capsys):
+        assert main(["adorn", sigma1_file]) == 0
+        out = capsys.readouterr().out
+        assert "Acyc = True" in out and "E^bb" in out
+
+    def test_cyclic(self, tmp_path, capsys):
+        p = tmp_path / "cyc.deps"
+        p.write_text("r1: A(x) -> exists y. R(x, y)\nr2: R(x, y) -> A(y)\n")
+        assert main(["adorn", str(p)]) == 1
+        assert "Acyc = False" in capsys.readouterr().out
+
+
+class TestGraph:
+    def test_text(self, sigma1_file, capsys):
+        assert main(["graph", sigma1_file]) == 0
+        out = capsys.readouterr().out
+        assert "Chase graph" in out and "Firing graph" in out
+
+    def test_dot(self, sigma1_file, capsys):
+        assert main(["graph", sigma1_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph chase_graph" in out
+        assert '"r1" -> "r2"' in out
+
+
+class TestExplore:
+    def test_some_terminating(self, sigma1_file, capsys):
+        code = main(
+            ["explore", sigma1_file, "--data", 'N("a")', "--max-depth", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "terminating leaves: 1" in out
+
+    def test_none_terminating(self, tmp_path, capsys):
+        p = tmp_path / "sigma10.deps"
+        p.write_text(
+            "r1: N(x) -> exists y, z. E(x, y, z)\n"
+            "r2: E(x, y, y) -> N(y)\n"
+            "r3: E(x, y, z) -> y = z\n"
+        )
+        code = main(
+            ["explore", str(p), "--data", 'N("a")', "--max-depth", "7"]
+        )
+        assert code == 1

@@ -1,0 +1,62 @@
+"""Unit tests for core computation."""
+
+import pytest
+
+from repro.homomorphism import CoreBudgetExceeded, core, is_core
+from repro.model import Atom, Constant, Instance, Null, parse_facts
+
+a, b = Constant("a"), Constant("b")
+n1, n2, n3 = Null(1), Null(2), Null(3)
+
+
+def E(s, t):
+    return Atom("E", (s, t))
+
+
+class TestCore:
+    def test_database_is_its_own_core(self):
+        inst = parse_facts('E("a", "b") E("b", "a")')
+        assert core(inst).facts() == inst.facts()
+        assert is_core(inst)
+
+    def test_redundant_null_collapses(self):
+        # E(a, n1) is subsumed by E(a, b).
+        inst = Instance([E(a, b), E(a, n1)])
+        assert core(inst).facts() == {E(a, b)}
+
+    def test_chain_collapse(self):
+        # E(a, n1), E(a, n2): one of the two nulls suffices.
+        inst = Instance([E(a, n1), E(a, n2)])
+        result = core(inst)
+        assert len(result) == 1
+
+    def test_non_redundant_nulls_kept(self):
+        # Example 3's universal model J1 is a core: the two E-atoms are not
+        # mutually subsumable (different constant sides).
+        j1 = parse_facts('P("a","b") Q("c","d") E("a", _1) E(_2, "d")')
+        assert core(j1).facts() == j1.facts()
+        assert is_core(j1)
+
+    def test_triangle_vs_loop(self):
+        # A 2-cycle of nulls with a self-loop: collapses onto the loop.
+        inst = Instance([E(n1, n2), E(n2, n1), E(n3, n3)])
+        result = core(inst)
+        assert result.facts() == {E(n3, n3)}
+
+    def test_idempotent(self):
+        inst = Instance([E(a, b), E(a, n1), E(n1, n2)])
+        first = core(inst)
+        assert core(first).facts() == first.facts()
+
+    def test_budget_exceeded(self):
+        inst = Instance([E(a, n1), E(a, b)])
+        with pytest.raises(CoreBudgetExceeded):
+            core(inst, budget=0)
+
+    def test_core_preserves_constants(self):
+        inst = Instance([E(a, n1), E(b, n1)])
+        result = core(inst)
+        # Both constant-anchored atoms must survive (n1 is shared and
+        # needed by both).
+        assert E(a, n1) in result or len(result) == 2
+        assert len(result) == 2

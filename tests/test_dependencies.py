@@ -1,0 +1,132 @@
+"""Unit tests for TGDs, EGDs, and dependency sets."""
+
+import pytest
+
+from repro.model import EGD, TGD, Atom, Constant, DependencySet, Position, Variable
+from repro.model import parse_dependencies, parse_dependency
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def tgd(body, head, **kw):
+    return TGD(body, head, **kw)
+
+
+class TestTGD:
+    def test_existential_inference(self):
+        r = TGD([Atom("N", (x,))], [Atom("E", (x, y))])
+        assert r.existential == (y,)
+        assert r.is_existential and not r.is_full
+
+    def test_full_tgd(self):
+        r = TGD([Atom("E", (x, y))], [Atom("N", (y,))])
+        assert r.existential == ()
+        assert r.is_full
+
+    def test_existential_order_follows_head(self):
+        r = TGD([Atom("N", (x,))], [Atom("E", (x, z, y))])
+        # z appears before y in the head.
+        assert r.existential == (z, y)
+
+    def test_declared_existential_mismatch(self):
+        with pytest.raises(ValueError):
+            TGD([Atom("N", (x,))], [Atom("E", (x, y))], existential=[z])
+
+    def test_frontier(self):
+        r = TGD([Atom("E", (x, y))], [Atom("F", (x, z))])
+        assert r.frontier() == {x}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([], [Atom("N", (x,))])
+
+    def test_positions_of(self):
+        r = TGD([Atom("E", (x, x))], [Atom("N", (x,))])
+        assert r.body_positions_of(x) == [Position("E", 0), Position("E", 1)]
+        assert r.head_positions_of(x) == [Position("N", 0)]
+
+    def test_rename_variables(self):
+        r = TGD([Atom("N", (x,))], [Atom("E", (x, y))])
+        renamed = r.rename_variables("7")
+        assert renamed.body[0] == Atom("N", (Variable("x#7"),))
+        assert renamed.existential == (Variable("y#7"),)
+        assert renamed != r
+
+    def test_equality_ignores_label(self):
+        r1 = TGD([Atom("N", (x,))], [Atom("E", (x, y))], label="a")
+        r2 = TGD([Atom("N", (x,))], [Atom("E", (x, y))], label="b")
+        assert r1 == r2
+
+
+class TestEGD:
+    def test_basic(self):
+        e = EGD([Atom("E", (x, y))], x, y)
+        assert e.is_full and e.is_egd and not e.is_tgd
+
+    def test_requires_body_variables(self):
+        with pytest.raises(ValueError):
+            EGD([Atom("E", (x, y))], x, z)
+
+    def test_rejects_trivial(self):
+        with pytest.raises(ValueError):
+            EGD([Atom("E", (x, y))], x, x)
+
+    def test_rejects_constants(self):
+        with pytest.raises(TypeError):
+            EGD([Atom("E", (x, y))], x, Constant("a"))
+
+    def test_rename(self):
+        e = EGD([Atom("E", (x, y))], x, y)
+        renamed = e.rename_variables("1")
+        assert renamed.lhs is Variable("x#1")
+
+
+class TestDependencySet:
+    def setup_method(self):
+        self.sigma = parse_dependencies(
+            """
+            r1: N(x) -> exists y. E(x, y)
+            r2: E(x, y) -> N(y)
+            r3: E(x, y) -> x = y
+            """
+        )
+
+    def test_partitions(self):
+        assert len(self.sigma.tgds) == 2
+        assert len(self.sigma.egds) == 1
+        # Σ∀ holds full TGDs and all EGDs; Σ∃ the existential TGDs.
+        assert {d.label for d in self.sigma.full} == {"r2", "r3"}
+        assert {d.label for d in self.sigma.existential} == {"r1"}
+
+    def test_predicates(self):
+        assert self.sigma.predicates() == {"N": 1, "E": 2}
+
+    def test_positions(self):
+        assert len(self.sigma.positions()) == 3
+
+    def test_arity_conflict_detected(self):
+        bad = DependencySet(
+            [
+                TGD([Atom("P", (x,))], [Atom("Q", (x,))]),
+                TGD([Atom("P", (x, y))], [Atom("Q", (x,))]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            bad.predicates()
+
+    def test_dedup(self):
+        r = parse_dependency("E(x, y) -> N(y)")
+        s = DependencySet([r, r])
+        assert len(s) == 1
+
+    def test_restricted_to(self):
+        sub = self.sigma.restricted_to([self.sigma[0]])
+        assert len(sub) == 1
+
+    def test_relabel(self):
+        relabelled = self.sigma.relabel("d")
+        assert [d.label for d in relabelled] == ["d1", "d2", "d3"]
+
+    def test_tgds_only(self):
+        assert len(self.sigma.tgds_only()) == 2
+        assert not self.sigma.tgds_only().egds

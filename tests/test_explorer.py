@@ -1,0 +1,89 @@
+"""Chase sequence explorer tests (bounded exhaustive nondeterminism)."""
+
+from repro.chase import ExplorationVerdict, canonical_key, explore_chase
+from repro.model import Atom, Constant, Instance, Null, parse_dependencies, parse_facts
+
+a, b = Constant("a"), Constant("b")
+
+
+class TestCanonicalKey:
+    def test_isomorphic_instances_same_key(self):
+        i1 = Instance([Atom("E", (a, Null(1))), Atom("E", (Null(1), Null(2)))])
+        i2 = Instance([Atom("E", (a, Null(7))), Atom("E", (Null(7), Null(5)))])
+        assert canonical_key(i1) == canonical_key(i2)
+
+    def test_non_isomorphic_distinct(self):
+        i1 = Instance([Atom("E", (a, Null(1)))])
+        i2 = Instance([Atom("E", (Null(1), a))])
+        assert canonical_key(i1) != canonical_key(i2)
+
+    def test_ground_instances(self):
+        i1 = parse_facts('E("a","b")')
+        i2 = parse_facts('E("a","b")')
+        assert canonical_key(i1) == canonical_key(i2)
+
+    def test_many_nulls_fallback(self):
+        # Past the permutation cap the greedy relabeling still produces a
+        # deterministic key.
+        facts = [Atom("E", (Null(i), Null(i + 1))) for i in range(1, 10)]
+        assert canonical_key(Instance(facts)) == canonical_key(Instance(facts))
+
+
+class TestExploration:
+    def test_sigma1_some_terminating(self):
+        sigma = parse_dependencies(
+            """
+            r1: N(x) -> exists y. E(x, y)
+            r2: E(x, y) -> N(y)
+            r3: E(x, y) -> x = y
+            """
+        )
+        db = parse_facts('N("a")')
+        result = explore_chase(db, sigma, max_depth=8, max_states=5_000)
+        assert result.verdict is ExplorationVerdict.SOME_TERMINATING
+        assert result.terminating_paths >= 1
+        assert result.capped_paths >= 1  # the r1/r2 alternation
+
+    def test_all_terminating(self):
+        sigma = parse_dependencies("r: A(x) -> B(x)")
+        db = parse_facts('A("a")')
+        result = explore_chase(db, sigma, max_depth=5)
+        assert result.verdict is ExplorationVerdict.ALL_TERMINATING
+
+    def test_none_found(self):
+        # Σ10: no terminating standard sequence exists (Example 10).
+        sigma = parse_dependencies(
+            """
+            r1: N(x) -> exists y, z. E(x, y, z)
+            r2: E(x, y, y) -> N(y)
+            r3: E(x, y, z) -> y = z
+            """
+        )
+        db = parse_facts('N("a")')
+        result = explore_chase(db, sigma, max_depth=9, max_states=8_000)
+        assert result.verdict is ExplorationVerdict.NONE_FOUND
+        assert result.terminating_paths == 0
+
+    def test_failing_paths_count_as_terminating(self):
+        sigma = parse_dependencies("r: E(x, y) -> x = y")
+        db = parse_facts('E("a", "b")')
+        result = explore_chase(db, sigma, max_depth=3)
+        assert result.failing_paths == 1
+        assert result.some_terminating
+
+    def test_oblivious_exploration(self):
+        # Σ6 under the oblivious chase has no terminating sequence.
+        sigma = parse_dependencies("r: E(x, y) -> exists z. E(x, z)")
+        db = parse_facts('E("a", "b")')
+        result = explore_chase(
+            db, sigma, variant="oblivious", max_depth=6, max_states=2_000
+        )
+        assert result.terminating_paths == 0
+
+    def test_semi_oblivious_exploration(self):
+        sigma = parse_dependencies("r: E(x, y) -> exists z. E(x, z)")
+        db = parse_facts('E("a", "b")')
+        result = explore_chase(
+            db, sigma, variant="semi_oblivious", max_depth=6, max_states=2_000
+        )
+        assert result.verdict is ExplorationVerdict.ALL_TERMINATING

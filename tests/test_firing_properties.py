@@ -1,0 +1,67 @@
+"""Property-based tests for the firing relations.
+
+The laws here are the structural backbone of Section 5:
+
+* ``<``  ⊆  ``≺``      (the firing graph refines the chase graph);
+* edges into full dependencies coincide in both graphs (the defusal
+  condition only applies to existentially quantified targets);
+* the standard-step relation is contained in the oblivious-step one for
+  TGD-only sets (oblivious applicability is weaker).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.firing import FiringOracle, chase_graph, firing_graph
+from repro.generators import random_dependency_set
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+class TestFiringLaws:
+    @SETTINGS
+    @given(seeds)
+    def test_firing_graph_refines_chase_graph(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        oracle = FiringOracle(sigma)
+        g = chase_graph(sigma, oracle)
+        gf = firing_graph(sigma, oracle)
+        assert set(gf.edges()) <= set(g.edges())
+
+    @SETTINGS
+    @given(seeds)
+    def test_full_targets_agree(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        oracle = FiringOracle(sigma)
+        g = chase_graph(sigma, oracle)
+        gf = firing_graph(sigma, oracle)
+        for r1, r2 in g.edges():
+            if r2.is_full:
+                assert gf.has_edge(r1, r2), (r1, r2)
+
+    @SETTINGS
+    @given(seeds)
+    def test_oblivious_contains_standard(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.0)
+        std = FiringOracle(sigma, step_variant="standard")
+        obl = FiringOracle(sigma, step_variant="oblivious")
+        for r1 in sigma:
+            for r2 in sigma:
+                if std.precedes(r1, r2):
+                    assert obl.precedes(r1, r2), (r1, r2)
+
+    @SETTINGS
+    @given(seeds)
+    def test_decisions_deterministic(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        a = {(r1, r2): FiringOracle(sigma).fires(r1, r2)
+             for r1 in sigma for r2 in sigma}
+        b = {(r1, r2): FiringOracle(sigma).fires(r1, r2)
+             for r1 in sigma for r2 in sigma}
+        assert a == b

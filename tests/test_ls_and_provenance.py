@@ -1,0 +1,94 @@
+"""Tests for local stratification (LS) and chase provenance."""
+
+import pytest
+
+from repro.chase import run_chase
+from repro.chase.provenance import ProvenanceIndex, explain
+from repro.criteria import get_criterion
+from repro.criteria.local_stratification import is_locally_stratified
+from repro.data import db_1, sigma_1, sigma_3, sigma_10
+from repro.model import Atom, Constant, parse_dependencies, parse_facts
+
+a = Constant("a")
+
+
+class TestLocalStratification:
+    def test_acyclic_accepted(self):
+        assert is_locally_stratified(sigma_3())[0]
+
+    def test_plain_cycle_rejected(self):
+        sigma = parse_dependencies(
+            "r1: A(x) -> exists y. R(x, y)\nr2: R(x, y) -> A(y)"
+        )
+        assert not is_locally_stratified(sigma)[0]
+
+    def test_extends_swa_on_splitting_witness(self):
+        # The Theorem-11 gain witness: nulls reach R^bf1 whose guard B is
+        # only ever bound — the adorned set is acyclic, so LS accepts; SwA
+        # accepts it too, while WA does not.  LS must not be worse than AC.
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y)
+            r2: R(x, y) & B(y) -> A(y)
+            """
+        )
+        assert is_locally_stratified(sigma)[0]
+
+    def test_neglects_egds(self):
+        # Σ1 through the simulation: rejected (the paper's point).
+        assert not get_criterion("LS").accepts(sigma_1())
+        assert not get_criterion("LS").accepts(sigma_10())
+
+    def test_registered(self):
+        result = get_criterion("LS").check(sigma_3())
+        assert result.accepted
+
+    def test_egds_rejected_without_simulation(self):
+        with pytest.raises(ValueError):
+            is_locally_stratified(sigma_1())
+
+
+class TestProvenance:
+    def test_database_facts(self):
+        db = db_1()
+        result = run_chase(db, sigma_1(), strategy="full_first")
+        idx = ProvenanceIndex(db, result)
+        d = idx.explain(Atom("N", (a,)))
+        assert d.source == "database" and not d.premises
+
+    def test_derived_fact_traces_through_merge(self):
+        # E(a,a) was created by r1 as E(a,η1) and rewritten by r3's merge;
+        # provenance must still find it and attribute it to r1.
+        db = db_1()
+        result = run_chase(db, sigma_1(), strategy="full_first")
+        d = explain(db, result, Atom("E", (a, a)))
+        assert d.source == "r1"
+        assert [p.fact for p in d.premises] == [Atom("N", (a,))]
+        assert d.premises[0].source == "database"
+        assert d.depth() == 2
+
+    def test_multi_step_chain(self):
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> B(x)
+            r2: B(x) -> C(x)
+            """
+        )
+        db = parse_facts('A("a")')
+        result = run_chase(db, sigma)
+        d = explain(db, result, Atom("C", (a,)))
+        assert d.source == "r2"
+        assert d.premises[0].source == "r1"
+        assert d.premises[0].premises[0].source == "database"
+
+    def test_unknown_fact(self):
+        db = db_1()
+        result = run_chase(db, sigma_1(), strategy="full_first")
+        with pytest.raises(KeyError):
+            explain(db, result, Atom("E", (a, Constant("zzz"))))
+
+    def test_render(self):
+        db = db_1()
+        result = run_chase(db, sigma_1(), strategy="full_first")
+        text = explain(db, result, Atom("E", (a, a))).render()
+        assert "[r1]" in text and "[database]" in text

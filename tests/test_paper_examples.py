@@ -1,0 +1,200 @@
+"""Integration tests: every example of the paper, end to end.
+
+Each test class corresponds to one numbered example; together they verify
+the full pipeline (model → chase → criteria → adornment) against the
+paper's published traces.
+"""
+
+from repro.analysis import classify
+from repro.chase import ChaseStatus, core_chase, explore_chase, run_chase
+from repro.core import adn_exists, is_semi_acyclic, is_semi_stratified
+from repro.criteria import is_stratified
+from repro.data import (
+    db_1,
+    db_3,
+    db_6,
+    db_8,
+    db_10,
+    db_11,
+    sigma_1,
+    sigma_3,
+    sigma_6,
+    sigma_8,
+    sigma_10,
+    sigma_11,
+)
+from repro.homomorphism import (
+    find_homomorphism,
+    instance_maps_into,
+    is_model,
+    satisfies_all,
+)
+from repro.model import Atom, Constant, Variable, parse_facts
+
+a = Constant("a")
+x, y = Variable("x"), Variable("y")
+
+
+class TestExample1And5:
+    """Σ1: the terminating and the non-terminating sequences."""
+
+    def test_terminating_sequence(self):
+        result = run_chase(db_1(), sigma_1(), strategy="full_first", max_steps=10)
+        assert result.successful
+        assert result.instance == parse_facts('N("a") E("a","a")')
+        labels = [s.trigger.dependency.label for s in result.steps]
+        assert labels == ["r1", "r3"]
+
+    def test_nonterminating_sequence_prefix(self):
+        result = run_chase(
+            db_1(), sigma_1(), strategy="existential_first", max_steps=13
+        )
+        assert result.status is ChaseStatus.EXCEEDED
+        # r1 keeps firing on ever-new nulls: the divergence of Example 1.
+        r1_firings = [s for s in result.steps if s.trigger.dependency.label == "r1"]
+        assert len(r1_firings) >= 4
+
+
+class TestExample2:
+    """Homomorphisms h1 and h2 of the running example."""
+
+    def test_h1(self):
+        k1 = db_1()
+        r1 = sigma_1()[0]
+        h1 = find_homomorphism(r1.body, k1)
+        assert h1 == {x: a}
+
+    def test_h2_both_bodies(self):
+        k2 = parse_facts('N("a") E("a", _1)')
+        r2, r3 = sigma_1()[1], sigma_1()[2]
+        assert find_homomorphism(r2.body, k2) is not None
+        assert find_homomorphism(r3.body, k2) is not None
+
+
+class TestExample3:
+    """Universal vs non-universal models of (D, Σ3)."""
+
+    def test_j1_universal_j2_not(self):
+        sigma, db = sigma_3(), db_3()
+        j1 = parse_facts('P("a","b") Q("c","d") E("a", _1) E(_2, "d")')
+        j2 = parse_facts('P("a","b") Q("c","d") E("a", "d")')
+        assert is_model(j1, db, sigma) and is_model(j2, db, sigma)
+        # J1 maps into J2 (h(η1)=d, h(η2)=a) but not vice versa.
+        assert instance_maps_into(j1, j2) is not None
+        assert instance_maps_into(j2, j1) is None
+
+    def test_chase_builds_universal_model(self):
+        result = run_chase(db_3(), sigma_3(), max_steps=10)
+        assert result.successful
+        j1 = result.instance
+        for other in (
+            parse_facts('P("a","b") Q("c","d") E("a","d")'),
+            parse_facts('P("a","b") Q("c","d") E("a","x") E("y","d")'),
+        ):
+            assert instance_maps_into(j1, other) is not None
+
+
+class TestExample6And7:
+    """Σ6 separates the chase variants; the core chase stays empty."""
+
+    def test_standard_empty(self):
+        result = run_chase(db_6(), sigma_6(), max_steps=10)
+        assert result.successful and result.step_count == 0
+
+    def test_semi_oblivious_one_step(self):
+        result = run_chase(db_6(), sigma_6(), variant="semi_oblivious", max_steps=10)
+        assert result.successful and result.step_count == 1
+
+    def test_oblivious_infinite(self):
+        result = run_chase(db_6(), sigma_6(), variant="oblivious", max_steps=25)
+        assert result.status is ChaseStatus.EXCEEDED
+
+    def test_core_chase_empty(self):
+        result = core_chase(db_6(), sigma_6(), max_rounds=5)
+        assert result.successful and result.instance == db_6()
+
+
+class TestExample8:
+    """Σ8 terminates in every sequence; its simulation never does."""
+
+    def test_all_sequences_terminate(self):
+        exploration = explore_chase(db_8(), sigma_8(), max_depth=12, max_states=20_000)
+        assert exploration.all_terminating
+
+    def test_chase_result_is_model(self):
+        result = run_chase(db_8(), sigma_8(), max_steps=100)
+        assert result.terminated
+        if result.successful:
+            assert satisfies_all(result.instance, sigma_8())
+
+
+class TestExample9And10:
+    """EGDs can create and destroy terminating sequences."""
+
+    def test_tgds_of_sigma1_never_terminate(self):
+        tgds_only = sigma_1().tgds_only()
+        exploration = explore_chase(db_1(), tgds_only, max_depth=10, max_states=5_000)
+        assert exploration.terminating_paths == 0
+
+    def test_sigma1_with_egd_terminates(self):
+        exploration = explore_chase(db_1(), sigma_1(), max_depth=10, max_states=5_000)
+        assert exploration.some_terminating
+
+    def test_tgds_of_sigma10_all_terminate(self):
+        tgds_only = sigma_10().tgds_only()
+        exploration = explore_chase(db_10(), tgds_only, max_depth=12, max_states=10_000)
+        assert exploration.all_terminating
+
+    def test_sigma10_with_egd_never_terminates(self):
+        exploration = explore_chase(db_10(), sigma_10(), max_depth=9, max_states=10_000)
+        assert exploration.terminating_paths == 0
+
+
+class TestExample11:
+    """Σ11: the r3-first strategy yields the 4-fact instance."""
+
+    def test_terminating_sequence_and_result(self):
+        result = run_chase(db_11(), sigma_11(), strategy="full_first", max_steps=50)
+        assert result.successful
+        facts = result.instance
+        assert len(facts) == 4
+        assert Atom("N", (a,)) in facts
+
+    def test_membership_pattern(self):
+        assert is_semi_stratified(sigma_11())
+        assert not is_stratified(sigma_11())
+
+
+class TestExamples12And13:
+    def test_adn_on_sigma1(self):
+        result = adn_exists(sigma_1())
+        assert result.acyclic
+        assert result.stats["size_adorned"] == 5
+
+    def test_adn_on_sigma10(self):
+        assert not adn_exists(sigma_10()).acyclic
+
+
+class TestHeadlineClaims:
+    """Section 1's motivation: current criteria all fail on Σ1."""
+
+    def test_only_new_criteria_recognise_sigma1(self):
+        report = classify(sigma_1())
+        accepted = set(report.accepted_by)
+        assert accepted == {"S-Str", "SAC"}
+
+    def test_nothing_recognises_sigma10(self):
+        report = classify(sigma_10())
+        assert report.accepted_by == []
+
+    def test_only_new_criteria_recognise_sigma11(self):
+        report = classify(sigma_11())
+        assert set(report.accepted_by) == {"S-Str", "SAC"}
+
+    def test_simulation_blind_criteria_miss_sigma8(self):
+        report = classify(sigma_8())
+        accepted = set(report.accepted_by)
+        # TGD-only criteria (through the simulation) all miss it.
+        assert not accepted & {"WA", "SC", "SwA", "AC", "MFA", "MSA"}
+        # Stratification-family and the paper's criteria catch it.
+        assert {"Str", "S-Str", "SAC"} <= accepted

@@ -1,0 +1,115 @@
+"""Parser round-trips and error reporting."""
+
+import pytest
+
+from repro.model import (
+    EGD,
+    TGD,
+    Constant,
+    Null,
+    ParseError,
+    Variable,
+    parse_dependencies,
+    parse_dependency,
+    parse_facts,
+    to_text,
+)
+
+
+class TestDependencyParsing:
+    def test_simple_tgd(self):
+        r = parse_dependency("N(x) -> E(x, y)")
+        assert isinstance(r, TGD)
+        # y does not occur in the body: inferred existential.
+        assert [v.name for v in r.existential] == ["y"]
+
+    def test_exists_syntax(self):
+        r = parse_dependency("N(x) -> exists y. E(x, y)")
+        assert [v.name for v in r.existential] == ["y"]
+
+    def test_exists_multiple(self):
+        r = parse_dependency("N(x) -> exists y, z. E(x, y, z)")
+        assert [v.name for v in r.existential] == ["y", "z"]
+
+    def test_nested_exists_style(self):
+        r = parse_dependency("N(x) -> exists y exists z. E(x, y, z)")
+        assert [v.name for v in r.existential] == ["y", "z"]
+
+    def test_unicode_arrow_and_conjunction(self):
+        r = parse_dependency("A(x) ∧ B(x) → C(x)")
+        assert isinstance(r, TGD) and len(r.body) == 2
+
+    def test_egd(self):
+        r = parse_dependency("E(x, y) -> x = y")
+        assert isinstance(r, EGD)
+        assert r.lhs is Variable("x") and r.rhs is Variable("y")
+
+    def test_label(self):
+        r = parse_dependency("r1: N(x) -> N(x)")
+        assert r.label == "r1"
+
+    def test_constants_quoted(self):
+        r = parse_dependency('P(x) -> Q(x, "c")')
+        assert Constant("c") in r.head[0].args
+
+    def test_numeric_constant(self):
+        r = parse_dependency("P(x) -> Q(x, 42)")
+        assert Constant(42) in r.head[0].args
+
+    def test_comments_and_blank_lines(self):
+        sigma = parse_dependencies(
+            """
+            # a comment
+            r1: A(x) -> B(x)
+            % another comment
+            r2: B(x) -> C(x)
+            """
+        )
+        assert len(sigma) == 2
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_dependency("A(x) -> ")
+        assert "line 1" in str(err.value)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_dependency("A(x) -> B(x) B")
+
+    def test_egd_constant_side_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency('A(x) -> x = "c"')
+
+
+class TestFactParsing:
+    def test_facts(self):
+        inst = parse_facts('N("a") E("a", "b")')
+        assert len(inst) == 2
+
+    def test_nulls_in_facts(self):
+        inst = parse_facts("P(_3)")
+        assert Null(3) in next(iter(inst)).args
+
+    def test_variables_rejected_in_facts(self):
+        with pytest.raises(ParseError):
+            parse_facts("P(x)")
+
+
+class TestRoundTrip:
+    def test_to_text_roundtrip(self):
+        text = """
+        r1: N(x) -> exists y. E(x, y)
+        r2: E(x, y) & N(x) -> N(y)
+        r3: E(x, y) -> x = y
+        r4: P(x) -> Q(x, "lit", 7)
+        """
+        sigma = parse_dependencies(text)
+        again = parse_dependencies(to_text(sigma))
+        assert sigma == again
+
+    def test_roundtrip_escaping(self):
+        from repro.model import DependencySet
+
+        r = parse_dependency('P(x) -> Q(x, "a\\"b")')
+        again = parse_dependencies(to_text(DependencySet([r])))
+        assert r == next(iter(again))

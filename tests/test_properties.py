@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+Random inputs come from the seeded random-dependency generator (dependency
+sets) and from hypothesis strategies (instances, mappings).  Budgets keep
+each case tiny; the properties are the load-bearing laws of the library:
+
+* chase results are models; merges preserve containment;
+* cores are homomorphically equivalent retracts;
+* criterion hierarchy inclusions (WA ⊆ SC, Str ⊆ S-Str, AC ⊆ SAC, C ⊆ Adn∃-C);
+* accepted sets really admit terminating sequences (criterion soundness,
+  checked with the bounded explorer);
+* simulations are TGD-only and preserve predicates.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import ChaseStatus, explore_chase, run_chase
+from repro.core import AdnCombined, adn_exists, is_semi_acyclic, is_semi_stratified
+from repro.criteria import get_criterion, is_safe, is_stratified, is_weakly_acyclic
+from repro.generators import random_dependency_set, seed_database
+from repro.homomorphism import core, instance_maps_into, is_model, satisfies_all
+from repro.model import Atom, Constant, Instance, Null
+from repro.simulation import substitution_free_simulation
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+# -- instance strategies -----------------------------------------------------
+
+terms = st.one_of(
+    st.sampled_from([Constant("a"), Constant("b"), Constant("c")]),
+    st.integers(min_value=1, max_value=4).map(Null),
+)
+facts = st.one_of(
+    st.tuples(st.just("E"), st.tuples(terms, terms)),
+    st.tuples(st.just("N"), st.tuples(terms)),
+).map(lambda p: Atom(p[0], p[1]))
+instances = st.lists(facts, max_size=8).map(Instance)
+
+
+class TestChaseProperties:
+    @SETTINGS
+    @given(seeds)
+    def test_successful_chase_result_is_model(self, seed):
+        sigma = random_dependency_set(seed, n_deps=4, egd_fraction=0.3)
+        db = seed_database(sigma)
+        result = run_chase(db, sigma, strategy="full_first", max_steps=300)
+        if result.status is ChaseStatus.SUCCESS:
+            assert is_model(result.instance, db, sigma)
+
+    @SETTINGS
+    @given(seeds)
+    def test_chase_extends_database_modulo_merging(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.2)
+        db = seed_database(sigma)
+        result = run_chase(db, sigma, strategy="full_first", max_steps=200)
+        if result.status is ChaseStatus.SUCCESS:
+            # D maps homomorphically into the result (merges may rename
+            # nulls, but the database is null-free so containment holds).
+            assert all(f in result.instance for f in db)
+
+
+class TestCoreProperties:
+    @SETTINGS
+    @given(instances)
+    def test_core_is_retract(self, inst):
+        c = core(inst, budget=200_000)
+        assert c.facts() <= inst.facts()
+        assert instance_maps_into(inst, c) is not None
+        assert instance_maps_into(c, inst) is not None
+
+    @SETTINGS
+    @given(instances)
+    def test_core_idempotent(self, inst):
+        c = core(inst, budget=200_000)
+        assert core(c, budget=200_000).facts() == c.facts()
+
+    @SETTINGS
+    @given(instances)
+    def test_core_preserves_null_free_part(self, inst):
+        c = core(inst, budget=200_000)
+        assert c.null_free_part().facts() == inst.null_free_part().facts()
+
+
+class TestHierarchyProperties:
+    @SETTINGS
+    @given(seeds)
+    def test_wa_subset_sc(self, seed):
+        sigma = random_dependency_set(seed, n_deps=4, egd_fraction=0.0)
+        if is_weakly_acyclic(sigma):
+            assert is_safe(sigma)
+
+    @SETTINGS
+    @given(seeds)
+    def test_str_subset_sstr(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        if is_stratified(sigma):
+            assert is_semi_stratified(sigma)
+
+    @SETTINGS
+    @given(seeds)
+    def test_wa_subset_adn_wa(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.2)
+        if get_criterion("WA").accepts(sigma):
+            assert AdnCombined("WA").accepts(sigma)
+
+    @SETTINGS
+    @given(seeds)
+    def test_sstr_subset_sac(self, seed):
+        # Theorem 9: S-Str ⊆ SAC.
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        if is_semi_stratified(sigma):
+            assert is_semi_acyclic(sigma)
+
+
+class TestSoundnessProperties:
+    @SETTINGS
+    @given(seeds)
+    def test_sstr_accepts_only_exists_terminating(self, seed):
+        """If S-Str accepts, the bounded explorer finds a terminating
+        sequence (on the seed database)."""
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        if not is_semi_stratified(sigma):
+            return
+        db = seed_database(sigma)
+        exploration = explore_chase(db, sigma, max_depth=10, max_states=4_000)
+        assert exploration.some_terminating or exploration.explored_states >= 4_000
+
+    @SETTINGS
+    @given(seeds)
+    def test_wa_accepts_only_all_terminating(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.0)
+        if not is_weakly_acyclic(sigma):
+            return
+        db = seed_database(sigma)
+        result = run_chase(db, sigma, strategy="fifo", max_steps=2_000)
+        assert result.terminated
+
+
+class TestSimulationProperties:
+    @SETTINGS
+    @given(seeds)
+    def test_simulation_is_tgd_only(self, seed):
+        sigma = random_dependency_set(seed, n_deps=4, egd_fraction=0.5)
+        sim = substitution_free_simulation(sigma)
+        assert not sim.egds
+
+    @SETTINGS
+    @given(seeds)
+    def test_simulation_preserves_predicates(self, seed):
+        sigma = random_dependency_set(seed, n_deps=4, egd_fraction=0.5)
+        sim = substitution_free_simulation(sigma)
+        original = set(sigma.predicates())
+        simulated = set(sim.predicates())
+        assert original <= simulated
+        assert simulated - original == {"Eq"}
+
+    @SETTINGS
+    @given(seeds)
+    def test_split_bodies_have_no_repeats(self, seed):
+        sigma = random_dependency_set(seed, n_deps=4, egd_fraction=0.3)
+        sim = substitution_free_simulation(sigma)
+        for dep in sim:
+            if dep.label.startswith("eq_"):
+                continue
+            seen = []
+            for atom in dep.body:
+                if atom.predicate == "Eq":
+                    continue
+                seen.extend(t for t in atom.args if t.is_variable)
+            assert len(seen) == len(set(seen)), dep
+
+
+class TestAdornmentProperties:
+    @SETTINGS
+    @given(seeds)
+    def test_src_of_adorned_is_sigma(self, seed):
+        from repro.core import strip_adornments_dep
+
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        result = adn_exists(sigma)
+        for rec in result.records:
+            if rec.src is not None:
+                assert strip_adornments_dep(rec.dep) == rec.src
+                assert rec.src in sigma
+
+    @SETTINGS
+    @given(seeds)
+    def test_adorned_set_at_least_bridges(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        result = adn_exists(sigma)
+        assert result.stats["size_adorned"] >= len(sigma.predicates())

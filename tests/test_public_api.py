@@ -1,0 +1,64 @@
+"""Public-API surface tests: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.model",
+    "repro.homomorphism",
+    "repro.chase",
+    "repro.firing",
+    "repro.criteria",
+    "repro.simulation",
+    "repro.core",
+    "repro.generators",
+    "repro.analysis",
+    "repro.data",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_entries_resolve(name):
+    mod = importlib.import_module(name)
+    for entry in getattr(mod, "__all__", []):
+        assert hasattr(mod, entry), f"{name}.__all__ lists missing {entry}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_registry_contains_all_criteria():
+    from repro.criteria import registry
+
+    assert set(registry()) == {
+        "WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "SR", "IR",
+        "Str", "S-Str", "SAC",
+    }
+
+
+def test_top_level_workflow():
+    """The README quickstart, verbatim."""
+    from repro import classify, parse_dependencies, parse_facts, run_chase
+
+    sigma = parse_dependencies(
+        """
+        r1: N(x) -> exists y. E(x, y)
+        r2: E(x, y) -> N(y)
+        r3: E(x, y) -> x = y
+        """
+    )
+    report = classify(sigma)
+    assert "SAC" in report.accepted_by
+    result = run_chase(parse_facts('N("a")'), sigma, strategy="full_first")
+    assert result.successful

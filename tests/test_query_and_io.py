@@ -1,0 +1,141 @@
+"""Tests for the query (certain answers) and io (JSON) modules."""
+
+import pytest
+
+from repro.data import db_1, sigma_1, sigma_10
+from repro.io import (
+    SerialisationError,
+    dependencies_from_json,
+    dependencies_to_json,
+    dumps,
+    loads,
+)
+from repro.model import (
+    Atom,
+    Constant,
+    Instance,
+    Null,
+    Variable,
+    parse_dependencies,
+    parse_facts,
+)
+from repro.query import (
+    ChaseDidNotTerminate,
+    ConjunctiveQuery,
+    InconsistentTheory,
+    UnionQuery,
+    certain_answers,
+    universal_model,
+)
+
+x, y = Variable("qx"), Variable("qy")
+a = Constant("a")
+
+
+class TestConjunctiveQuery:
+    def test_evaluate(self):
+        q = ConjunctiveQuery.make([Atom("E", (x, y))], [x, y])
+        inst = parse_facts('E("a","b") E("b","c")')
+        assert len(q.evaluate(inst)) == 2
+
+    def test_join_query(self):
+        q = ConjunctiveQuery.make(
+            [Atom("E", (x, y)), Atom("N", (y,))], [x]
+        )
+        inst = parse_facts('E("a","b") N("b") E("c","d")')
+        assert q.evaluate(inst) == {(Constant("b"),)} or q.evaluate(inst) == {(Constant("a"),)}
+        # x is the E-source whose target is in N:
+        assert q.evaluate(inst) == {(Constant("a"),)}
+
+    def test_null_free_projection(self):
+        q = ConjunctiveQuery.make([Atom("E", (x, y))], [y])
+        inst = Instance([Atom("E", (a, Null(1))), Atom("E", (a, Constant("b")))])
+        assert q.evaluate_null_free(inst) == {(Constant("b"),)}
+        assert len(q.evaluate(inst)) == 2
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery.make([Atom("N", (x,))], [])
+        assert q.is_boolean
+        assert q.evaluate(parse_facts('N("a")')) == {()}
+        assert q.evaluate(parse_facts('E("a","b")')) == set()
+
+    def test_answer_var_must_occur(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery.make([Atom("N", (x,))], [y])
+
+    def test_str(self):
+        q = ConjunctiveQuery.make([Atom("N", (x,))], [x], name="Members")
+        assert str(q).startswith("Members(qx)")
+
+
+class TestUnionQuery:
+    def test_union(self):
+        q1 = ConjunctiveQuery.make([Atom("A", (x,))], [x])
+        q2 = ConjunctiveQuery.make([Atom("B", (x,))], [x])
+        u = UnionQuery((q1, q2))
+        inst = parse_facts('A("a") B("b")')
+        assert u.evaluate(inst) == {(Constant("a"),), (Constant("b"),)}
+
+    def test_arity_mismatch(self):
+        q1 = ConjunctiveQuery.make([Atom("A", (x,))], [x])
+        q2 = ConjunctiveQuery.make([Atom("E", (x, y))], [x, y])
+        with pytest.raises(ValueError):
+            UnionQuery((q1, q2))
+
+
+class TestCertainAnswers:
+    def test_sigma1_certain_answers(self):
+        # The universal model of (D, Σ1) is {N(a), E(a,a)}: everything is
+        # certain because the EGD grounded the null.
+        q = ConjunctiveQuery.make([Atom("E", (x, y))], [x, y])
+        answers = certain_answers(q, db_1(), sigma_1())
+        assert answers == {(a, a)}
+
+    def test_nulls_are_not_certain(self):
+        sigma = parse_dependencies("r: P(x) -> exists y. E(x, y)")
+        db = parse_facts('P("a")')
+        q_pairs = ConjunctiveQuery.make([Atom("E", (x, y))], [x, y])
+        assert certain_answers(q_pairs, db, sigma) == set()
+        # ... but the boolean projection IS certain.
+        q_bool = ConjunctiveQuery.make([Atom("E", (x, y))], [])
+        assert certain_answers(q_bool, db, sigma) == {()}
+
+    def test_nontermination_raises(self):
+        q = ConjunctiveQuery.make([Atom("N", (x,))], [x])
+        with pytest.raises(ChaseDidNotTerminate):
+            certain_answers(q, parse_facts('N("a")'), sigma_10(), max_steps=200)
+
+    def test_inconsistency_raises(self):
+        sigma = parse_dependencies("r: E(x, y) -> x = y")
+        with pytest.raises(InconsistentTheory):
+            universal_model(parse_facts('E("a","b")'), sigma)
+
+
+class TestJsonRoundTrip:
+    def test_dependency_set_roundtrip(self):
+        sigma = sigma_1()
+        again = loads(dumps(sigma))
+        assert again == sigma
+        assert [d.label for d in again] == [d.label for d in sigma]
+
+    def test_instance_roundtrip(self):
+        inst = Instance(
+            [Atom("E", (a, Null(3))), Atom("N", (Constant(7),))]
+        )
+        again = loads(dumps(inst))
+        assert again.facts() == inst.facts()
+
+    def test_existential_order_preserved(self):
+        sigma = parse_dependencies("r: N(x) -> exists z, y. E(x, z, y)")
+        again = dependencies_from_json(dependencies_to_json(sigma))
+        assert again[0].existential == sigma[0].existential
+
+    def test_bad_payloads(self):
+        with pytest.raises(SerialisationError):
+            loads('{"nope": []}')
+        with pytest.raises(SerialisationError):
+            dependencies_from_json({"dependencies": [{"kind": "what"}]})
+        from repro.io import term_from_json
+
+        with pytest.raises(SerialisationError):
+            term_from_json({"var": "x", "const": 1})

@@ -1,0 +1,58 @@
+"""SR / IR criteria tests (Section 3: CStr ⊊ SR ⊊ IR)."""
+
+from repro.criteria import (
+    get_criterion,
+    is_c_stratified,
+    is_inductively_restricted,
+    is_safely_restricted,
+)
+from repro.data import sigma_1, sigma_3, sigma_10, sigma_11
+from repro.model import parse_dependencies
+
+
+class TestSafeRestriction:
+    def test_easy_sets_accepted(self):
+        assert is_safely_restricted(sigma_3())[0]
+
+    def test_ct_exists_only_sets_rejected(self):
+        # SR guarantees CTstd∀, so Σ1 and Σ11 must be rejected.
+        assert not is_safely_restricted(sigma_1())[0]
+        assert not is_safely_restricted(sigma_11())[0]
+        assert not is_safely_restricted(sigma_10())[0]
+
+    def test_cstr_subset_sr(self):
+        sets = [
+            sigma_3(),
+            parse_dependencies("r: A(x) -> B(x)"),
+            parse_dependencies(
+                "r1: A(x) -> exists y. R(x, y)\nr2: R(x, y) & B(y) -> A(y)"
+            ),
+        ]
+        for sigma in sets:
+            if is_c_stratified(sigma):
+                assert is_safely_restricted(sigma)[0]
+
+    def test_sr_beyond_cstr(self):
+        # The cycle is safe but not weakly acyclic: the guard position is
+        # never affected, so nulls cannot cycle, but WA's position graph
+        # has the special cycle.  CStr rejects, SR accepts.
+        sigma = parse_dependencies(
+            """
+            r1: A(x) & G(x) -> exists y. R(x, y)
+            r2: R(x, y) -> A(y)
+            """
+        )
+        assert not is_c_stratified(sigma)
+        assert is_safely_restricted(sigma)[0]
+
+
+class TestInductiveRestriction:
+    def test_sr_subset_ir(self):
+        for sigma in (sigma_3(), sigma_1(), sigma_11(), sigma_10()):
+            if is_safely_restricted(sigma)[0]:
+                assert is_inductively_restricted(sigma)[0]
+
+    def test_registered(self):
+        assert get_criterion("SR").accepts(sigma_3())
+        assert get_criterion("IR").accepts(sigma_3())
+        assert not get_criterion("IR").accepts(sigma_10())

@@ -1,0 +1,147 @@
+"""Unit tests for the schema module and the chase strategies."""
+
+import pytest
+
+from repro.chase import Trigger
+from repro.chase.strategies import (
+    NAMED_STRATEGIES,
+    egd_first,
+    existential_first,
+    fifo,
+    full_first,
+    lifo,
+    random_strategy,
+    resolve_strategy,
+)
+from repro.model import (
+    Constant,
+    Schema,
+    parse_dependencies,
+    parse_dependency,
+    parse_facts,
+)
+
+
+class TestSchema:
+    def test_from_dependencies(self):
+        sigma = parse_dependencies("r: N(x) -> exists y. E(x, y)")
+        schema = Schema.from_dependencies(sigma)
+        assert schema.arity("N") == 1 and schema.arity("E") == 2
+        assert "N" in schema and "missing" not in schema
+        assert len(schema) == 2
+
+    def test_from_instance(self):
+        schema = Schema.from_instance(parse_facts('E("a","b") N("a")'))
+        assert schema.arity("E") == 2
+
+    def test_from_instance_conflict(self):
+        from repro.model import Atom, Instance
+
+        inst = Instance([Atom("P", (Constant("a"),))])
+        inst.add(Atom("P", (Constant("a"), Constant("b"))))
+        with pytest.raises(ValueError):
+            Schema.from_instance(inst)
+
+    def test_union(self):
+        s1 = Schema({"A": 1})
+        s2 = Schema({"B": 2})
+        merged = Schema.union(s1, s2)
+        assert len(merged) == 2
+
+    def test_union_conflict(self):
+        with pytest.raises(ValueError):
+            Schema.union(Schema({"A": 1}), Schema({"A": 2}))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Schema({"A": -1})
+        with pytest.raises(ValueError):
+            Schema({"": 1})
+
+    def test_equality_and_iteration(self):
+        s = Schema({"B": 2, "A": 1})
+        assert list(s) == ["A", "B"]
+        assert s == Schema({"A": 1, "B": 2})
+        assert hash(s) == hash(Schema({"A": 1, "B": 2}))
+
+
+def _triggers():
+    sigma = parse_dependencies(
+        """
+        r1: N(x) -> exists y. E(x, y)
+        r2: E(x, y) -> N(y)
+        r3: E(x, y) -> x = y
+        """
+    )
+    a, b = Constant("a"), Constant("b")
+    from repro.model import Variable
+
+    x, y = Variable("x"), Variable("y")
+    return [
+        Trigger.make(sigma[0], {x: a}),              # existential TGD
+        Trigger.make(sigma[1], {x: a, y: b}),        # full TGD
+        Trigger.make(sigma[2], {x: a, y: b}),        # EGD
+    ]
+
+
+class TestStrategies:
+    def test_fifo_lifo(self):
+        triggers = _triggers()
+        assert fifo(triggers) == 0
+        assert lifo(triggers) == len(triggers) - 1
+
+    def test_full_first_prefers_egd(self):
+        triggers = _triggers()
+        assert triggers[full_first(triggers)].dependency.is_egd
+
+    def test_full_first_prefers_full_tgd_over_existential(self):
+        triggers = _triggers()[:2]  # existential, full
+        assert triggers[full_first(triggers)].dependency.is_full
+
+    def test_egd_first(self):
+        triggers = _triggers()
+        assert triggers[egd_first(triggers)].dependency.is_egd
+        no_egd = triggers[:2]
+        assert egd_first(no_egd) == 0
+
+    def test_existential_first(self):
+        triggers = _triggers()
+        assert triggers[existential_first(triggers)].dependency.is_existential
+
+    def test_random_strategy_reproducible(self):
+        triggers = _triggers()
+        s1, s2 = random_strategy(42), random_strategy(42)
+        picks1 = [s1(triggers) for _ in range(10)]
+        picks2 = [s2(triggers) for _ in range(10)]
+        assert picks1 == picks2
+        assert all(0 <= p < len(triggers) for p in picks1)
+
+    def test_resolve(self):
+        assert resolve_strategy("fifo") is fifo
+        assert resolve_strategy(fifo) is fifo
+        with pytest.raises(ValueError):
+            resolve_strategy("bogus")
+        assert set(NAMED_STRATEGIES) >= {"fifo", "lifo", "full_first"}
+
+
+class TestTrigger:
+    def test_key_restriction(self):
+        r2 = parse_dependency("E(x, y) -> N(y)")
+        from repro.model import Variable
+
+        x, y = Variable("x"), Variable("y")
+        t = Trigger.make(r2, {x: Constant("a"), y: Constant("b")})
+        assert t.key((y,)) == (r2, (Constant("b"),))
+
+    def test_rewrite(self):
+        from repro.model import Null, Variable
+
+        r2 = parse_dependency("E(x, y) -> N(y)")
+        x, y = Variable("x"), Variable("y")
+        t = Trigger.make(r2, {x: Null(1), y: Constant("b")})
+        t2 = t.rewrite(Null(1), Constant("a"))
+        assert t2.image_of(x) is Constant("a")
+        assert t2.image_of(y) is Constant("b")
+
+    def test_str(self):
+        assert "↦" in str(_triggers()[0])

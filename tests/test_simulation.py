@@ -1,0 +1,115 @@
+"""EGD→TGD simulation tests (Section 4, Example 8, Theorem 2)."""
+
+from repro.chase import ChaseStatus, run_chase
+from repro.data import db_8, sigma_1, sigma_8
+from repro.model import EGD, TGD, parse_dependencies, parse_facts
+from repro.simulation import (
+    EQ,
+    enumerate_choices,
+    natural_simulation,
+    split_repeated_variables,
+    substitution_free_simulation,
+)
+
+
+class TestSubstitutionFreeSimulation:
+    def test_no_egds_remain(self):
+        out = substitution_free_simulation(sigma_8())
+        assert not out.egds
+        assert all(isinstance(d, TGD) for d in out)
+
+    def test_example8_structure(self):
+        """The paper's Example 8 walk-through."""
+        out = substitution_free_simulation(sigma_8())
+        labels = {d.label for d in out}
+        # 1. equality axioms present.
+        assert "eq_sym" in labels and "eq_trans" in labels
+        assert {"eq_refl_A", "eq_refl_B", "eq_refl_C"} <= labels
+        # 2. the EGDs r4, r5 became Eq-headed TGDs.
+        eq_heads = [
+            d for d in out
+            if d.label in ("r4_eq", "r5_eq") or
+            (d.head and d.head[0].predicate == EQ and d.label not in
+             ("eq_sym", "eq_trans") and not d.label.startswith("eq_refl"))
+        ]
+        assert len([d for d in out if d.head[0].predicate == EQ
+                    and d.label.endswith("_eq")]) == 2
+        # 3. r1's repeated body variable was split with an Eq atom.
+        r1 = [d for d in out if d.label == "r1"][0]
+        body_preds = [a.predicate for a in r1.body]
+        assert EQ in body_preds
+        assert len(r1.body) == 3
+        # r2 and r3 unchanged (no repeated body variables).
+        r2 = [d for d in out if d.label == "r2"][0]
+        assert len(r2.body) == 1
+
+    def test_repeated_variable_in_single_atom(self):
+        sigma = parse_dependencies("r: E(x, x) -> P(x)")
+        out = substitution_free_simulation(sigma)
+        r = [d for d in out if d.label == "r"][0]
+        non_eq = [a for a in r.body if a.predicate != EQ]
+        # Each variable occurs at most once among the ordinary atoms.
+        seen = []
+        for a in non_eq:
+            seen.extend(a.args)
+        assert len(seen) == len(set(seen))
+
+    def test_soundness_on_terminating_simulation(self):
+        # Theorem 2.1 (soundness) spot check: if Σ' terminates under a
+        # bounded run, Σ must too.  We use a simple functional-dependency
+        # set whose simulation is terminating.
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y)
+            r2: R(x, y) & R(x, z) -> y = z
+            """
+        )
+        sim = substitution_free_simulation(sigma)
+        db = parse_facts('A("a") R("a", "b")')
+        sim_run = run_chase(db, sim, max_steps=500)
+        direct_run = run_chase(db, sigma, max_steps=500)
+        assert sim_run.status is ChaseStatus.SUCCESS
+        assert direct_run.status is ChaseStatus.SUCCESS
+
+    def test_example8_incompleteness(self):
+        """Theorem 2.2: Σ8 ∈ CTstd∀ but its simulation has no terminating
+        sequence — the simulation's TGDs regenerate A/B/Eq facts forever."""
+        sigma = sigma_8()
+        db = db_8()
+        # Σ8 itself: the chase terminates (quickly).
+        direct = run_chase(db, sigma, strategy="fifo", max_steps=300)
+        assert direct.terminated
+        # The simulation: no strategy we try terminates within the budget.
+        sim = substitution_free_simulation(sigma)
+        for strategy in ("fifo", "full_first", "lifo"):
+            result = run_chase(db, sim, strategy=strategy, max_steps=600)
+            assert result.status is ChaseStatus.EXCEEDED, strategy
+
+    def test_enumerate_choices(self):
+        sigma = sigma_8()
+        r1 = sigma[0]  # A(x) ∧ B(x) → C(x): two choices per the paper
+        variants = list(enumerate_choices(r1))
+        assert len(variants) == 2
+        bodies = {tuple(str(a) for a in v.body) for v in variants}
+        assert len(bodies) == 2
+
+    def test_split_leaves_singletons_alone(self):
+        r = parse_dependencies("r: A(x) & B(y) -> C(x)")[0]
+        assert split_repeated_variables(r) == r
+
+
+class TestNaturalSimulation:
+    def test_congruence_rules_per_position(self):
+        sigma = sigma_1()  # N/1 and E/2
+        out = natural_simulation(sigma)
+        subst_rules = [d for d in out if d.label.startswith("eq_subst")]
+        assert len(subst_rules) == 3  # N[1], E[1], E[2]
+
+    def test_bodies_not_split(self):
+        sigma = sigma_8()
+        out = natural_simulation(sigma)
+        r1 = [d for d in out if d.label == "r1"][0]
+        assert len(r1.body) == 2  # A(x) ∧ B(x) kept intact
+
+    def test_no_egds_remain(self):
+        assert not natural_simulation(sigma_8()).egds

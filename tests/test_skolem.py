@@ -1,0 +1,96 @@
+"""Skolemisation and Skolem-chase saturation tests."""
+
+import pytest
+
+from repro.chase.skolem import (
+    SkolemTerm,
+    critical_instance,
+    saturate,
+    skolemise,
+)
+from repro.model import Constant, parse_dependencies, parse_facts
+
+
+class TestSkolemTerm:
+    def test_interning(self):
+        a = Constant("a")
+        assert SkolemTerm("f", (a,)) is SkolemTerm("f", (a,))
+
+    def test_nesting_and_depth(self):
+        a = Constant("a")
+        t1 = SkolemTerm("f", (a,))
+        t2 = SkolemTerm("g", (t1,))
+        assert t2.depth() == 2
+        assert t1.depth() == 1
+
+    def test_cyclic_detection(self):
+        a = Constant("a")
+        f_a = SkolemTerm("f", (a,))
+        g_f = SkolemTerm("g", (f_a,))
+        f_g_f = SkolemTerm("f", (g_f,))
+        assert not f_a.is_cyclic
+        assert not g_f.is_cyclic
+        assert f_g_f.is_cyclic  # f occurs inside its own argument
+
+
+class TestSkolemise:
+    def test_oblivious_uses_all_body_vars(self):
+        sigma = parse_dependencies("r: E(x, y) -> exists z. E(x, z)")
+        [rule] = skolemise(sigma, variant="oblivious")
+        (_, _, args) = rule.functors[0]
+        assert [v.name for v in args] == ["x", "y"]
+
+    def test_semi_oblivious_uses_frontier(self):
+        sigma = parse_dependencies("r: E(x, y) -> exists z. E(x, z)")
+        [rule] = skolemise(sigma, variant="semi_oblivious")
+        (_, _, args) = rule.functors[0]
+        assert [v.name for v in args] == ["x"]
+
+    def test_egds_rejected(self):
+        sigma = parse_dependencies("r: E(x, y) -> x = y")
+        with pytest.raises(ValueError):
+            skolemise(sigma)
+
+
+class TestSaturation:
+    def test_terminating_fixpoint(self):
+        sigma = parse_dependencies("r: A(x) -> exists y. R(x, y)")
+        rules = skolemise(sigma)
+        result = saturate(parse_facts('A("a")'), rules)
+        assert result.saturated and not result.alarmed
+        assert len(result.instance) == 2
+
+    def test_cyclic_alarm(self):
+        # A(x) -> ∃y R(x,y);  R(x,y) -> A(y): f nests inside f.
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y)
+            r2: R(x, y) -> A(y)
+            """
+        )
+        rules = skolemise(sigma)
+        result = saturate(parse_facts('A("a")'), rules)
+        assert result.alarmed
+        assert result.cyclic_term is not None and result.cyclic_term.is_cyclic
+
+    def test_repeated_variable_blocks_refiring(self):
+        # E(x,x) -> ∃z E(x,z): the new fact never matches the body again.
+        sigma = parse_dependencies("r: E(x, x) -> exists z. E(x, z)")
+        rules = skolemise(sigma)
+        result = saturate(parse_facts('E("a","a")'), rules)
+        assert result.saturated and not result.alarmed
+
+
+class TestCriticalInstance:
+    def test_star_facts(self):
+        sigma = parse_dependencies("r: A(x) -> exists y. R(x, y)")
+        inst = critical_instance(sigma)
+        preds = {f.predicate for f in inst}
+        assert preds == {"A", "R"}
+        star = Constant("*")
+        assert all(star in f.args for f in inst)
+
+    def test_constants_included(self):
+        sigma = parse_dependencies('r: A(x) -> B(x, "c")')
+        inst = critical_instance(sigma)
+        assert any(Constant("c") in f.args for f in inst)

@@ -1,0 +1,88 @@
+"""The literal Algorithm 1's soundness corner (EXPERIMENTS.md finding 2).
+
+``Dµ(Σµ)`` contains the all-bound fact for every predicate, so an adorned
+EGD with a mixed body (functionality over ``R^{bb} ∧ R^{bf1}``) merges
+``f1/b`` using a *hypothetical* database edge.  On databases without such
+an edge the chase diverges although SAC accepts — these tests pin the
+behaviour so any future deviation from the literal algorithm is a
+conscious decision.
+"""
+
+from repro.chase import ExplorationVerdict, explore_chase, run_chase
+from repro.chase.result import ChaseStatus
+from repro.core import adn_exists, is_semi_acyclic
+from repro.model import parse_dependencies, parse_facts
+
+
+def functional_guard_sigma():
+    return parse_dependencies(
+        """
+        r1: A(x) -> exists y. R(x, y) & B(y)
+        r2: B(x) -> A(x)
+        r3: R(x, y) & R(x, z) -> y = z
+        """
+    )
+
+
+class TestFunctionalGuardCorner:
+    def test_sac_accepts(self):
+        # The literal Dµ analysis merges f1 into b via the hypothetical
+        # R(b,b) fact, so Adn∃ reports acyclic.
+        result = adn_exists(functional_guard_sigma())
+        assert result.acyclic and result.exact
+
+    def test_chase_diverges_without_edge(self):
+        # On D = {A(a)} the functionality EGD never fires: every source
+        # has exactly one successor, so the A/B cycle runs forever.
+        sigma = functional_guard_sigma()
+        db = parse_facts('A("a")')
+        exploration = explore_chase(db, sigma, max_depth=10, max_states=5_000)
+        assert exploration.terminating_paths == 0
+        assert exploration.failing_paths == 0
+
+    def test_single_edge_only_rescues_one_step(self):
+        # Even with R(a,c) in the database, the merge only grounds the
+        # FIRST null: the cycle continues from c, which has no second
+        # R-edge, and diverges.  The Dµ reasoning would need a matching
+        # edge for *every* A-element the chase ever reaches.
+        sigma = functional_guard_sigma()
+        db = parse_facts('A("a") R("a", "c")')
+        result = run_chase(db, sigma, strategy="full_first", max_steps=300)
+        assert result.status is ChaseStatus.EXCEEDED
+
+    def test_semi_stratification_is_sound_here(self):
+        # S-Str does NOT share the corner: condition (iv)'s defusal must
+        # exhibit the defusing EGD step on the specific witness instance,
+        # and the minimal witness K = {B(t)} contains no R-edge — so the
+        # r2 → r1 edge survives and the non-WA cycle rejects Σ.
+        from repro.core import is_semi_stratified
+
+        sigma = functional_guard_sigma()
+        assert not is_semi_stratified(sigma)
+        assert is_semi_acyclic(sigma)  # the corner is specific to Dµ
+
+
+class TestCornerDoesNotLeakToHonestSets:
+    def test_sigma1_style_egd_is_genuinely_sound(self):
+        # Σ1's reflexivising EGD fires on ANY E-edge, including the chase's
+        # own atoms, so there the Dµ merge is justified on every database.
+        sigma = parse_dependencies(
+            """
+            r1: N(x) -> exists y. E(x, y)
+            r2: E(x, y) -> N(y)
+            r3: E(x, y) -> x = y
+            """
+        )
+        assert is_semi_acyclic(sigma)
+        db = parse_facts('N("a")')
+        exploration = explore_chase(db, sigma, max_depth=8, max_states=5_000)
+        assert exploration.some_terminating
+
+    def test_unguarded_cycle_still_rejected(self):
+        sigma = parse_dependencies(
+            """
+            r1: A(x) -> exists y. R(x, y) & B(y)
+            r2: B(x) -> A(x)
+            """
+        )
+        assert not is_semi_acyclic(sigma)

@@ -1,0 +1,91 @@
+"""Unit tests for terms: interning, immutability, factories."""
+
+import pickle
+
+import pytest
+
+from repro.model import Constant, Null, NullFactory, Variable, constants, fresh_null, variables
+
+
+class TestInterning:
+    def test_constants_interned(self):
+        assert Constant("a") is Constant("a")
+        assert Constant(1) is Constant(1)
+
+    def test_distinct_constants(self):
+        assert Constant("a") is not Constant("b")
+        assert Constant("1") is not Constant(1)
+
+    def test_nulls_interned(self):
+        assert Null(3) is Null(3)
+        assert Null(3) is not Null(4)
+
+    def test_variables_interned(self):
+        assert Variable("x") is Variable("x")
+        assert Variable("x") is not Variable("y")
+
+    def test_cross_kind_distinct(self):
+        # Same payload, different sorts: never equal.
+        assert Constant("x") != Variable("x")
+        assert Null(1) != Constant(1)
+
+
+class TestImmutability:
+    def test_constant_frozen(self):
+        with pytest.raises(AttributeError):
+            Constant("a").value = "b"
+
+    def test_null_frozen(self):
+        with pytest.raises(AttributeError):
+            Null(1).label = 2
+
+    def test_variable_frozen(self):
+        with pytest.raises(AttributeError):
+            Variable("x").name = "y"
+
+
+class TestKinds:
+    def test_kind_flags(self):
+        assert Constant("a").is_constant
+        assert not Constant("a").is_null
+        assert Null(1).is_null
+        assert not Null(1).is_variable
+        assert Variable("x").is_variable
+        assert not Variable("x").is_constant
+
+
+class TestFactories:
+    def test_null_factory_sequence(self):
+        f = NullFactory(start=5)
+        assert f.fresh() is Null(5)
+        assert f.fresh() is Null(6)
+
+    def test_fresh_many(self):
+        f = NullFactory(start=1)
+        ns = f.fresh_many(3)
+        assert [n.label for n in ns] == [1, 2, 3]
+
+    def test_global_fresh_null_distinct(self):
+        assert fresh_null() is not fresh_null()
+
+    def test_variables_helper(self):
+        x, y, z = variables("x y z")
+        assert x is Variable("x") and z is Variable("z")
+
+    def test_constants_helper(self):
+        a, b = constants("a b")
+        assert a is Constant("a") and b is Constant("b")
+
+
+class TestSerialisation:
+    def test_pickle_roundtrip_preserves_interning(self):
+        for t in (Constant("a"), Null(7), Variable("v")):
+            assert pickle.loads(pickle.dumps(t)) is t
+
+
+class TestDisplay:
+    def test_str_forms(self):
+        assert str(Constant("a")) == '"a"'
+        assert str(Constant(3)) == "3"
+        assert str(Null(2)) == "η2"
+        assert str(Variable("x")) == "x"

@@ -1,0 +1,103 @@
+"""Unit tests for the firing-relation witness engine internals."""
+
+from repro.firing.witness import (
+    DEFAULT_BUDGET,
+    WitnessEngine,
+    iter_partitions,
+)
+from repro.model import parse_dependency
+
+
+class TestPartitions:
+    def test_identity_first(self):
+        parts = list(iter_partitions([1, 2, 3]))
+        assert parts[0] == [[1], [2], [3]]
+
+    def test_counts_are_bell_numbers(self):
+        # Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15.
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert len(list(iter_partitions(list(range(n))))) == bell
+
+    def test_limit_returns_identity_only(self):
+        parts = list(iter_partitions(list(range(10)), limit_vars=4))
+        assert len(parts) == 1
+
+    def test_empty(self):
+        assert list(iter_partitions([])) == [[]]
+
+
+class TestWitnessShapes:
+    def test_witness_carries_instances(self):
+        r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
+        r2 = parse_dependency("r2: E(x, y) -> N(y)")
+        decision = WitnessEngine(r1, r2).precedes()
+        assert decision.edge and decision.exact
+        w = decision.witness
+        assert w is not None
+        # h2's instantiated body sits in J but not fully in K.
+        inst_body = [a.apply(w.h2) for a in w.r2.rename_variables("2").body]
+        assert all(a in w.J for a in inst_body)
+        assert not all(a in w.K for a in inst_body)
+
+    def test_budget_exhaustion_is_conservative(self):
+        r1 = parse_dependency("r1: A(x) & B(y) -> exists z. R(x, y, z)")
+        r2 = parse_dependency("r2: R(x, y, z) & R(y, x, w) -> A(w)")
+        decision = WitnessEngine(r1, r2, budget=5).precedes()
+        # With a tiny budget the engine must answer True/inexact, never a
+        # confident False.
+        assert decision.edge and not decision.exact
+
+    def test_self_loop_renaming(self):
+        # Self-pairs must not leak shared variable bindings.
+        r = parse_dependency("r: E(x, y) & E(y, z) -> E(x, z)")
+        assert WitnessEngine(r, r).precedes().edge
+
+    def test_egd_cannot_fire_via_failing_step(self):
+        # An EGD whose only violations equate two constants yields ⊥, and
+        # a failing step cannot witness an edge.  With nulls available the
+        # engine freezes with nulls, so this EGD still fires things — the
+        # check here is that the engine stays exact on a tiny budget-free
+        # case rather than crashing.
+        egd = parse_dependency("e: P(x, y) -> x = y")
+        r = parse_dependency("r: P(x, x) -> Q(x)")
+        decision = WitnessEngine(egd, r).fires()
+        assert decision.edge  # merge P(a,η)→P(a,a) enables the body
+
+    def test_full_target_skips_defusal(self):
+        r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
+        full = parse_dependency("r2: E(x, y) -> N(y)")
+        # Even with defusing candidates around, a full target keeps the
+        # edge (condition (iv) applies only to existential targets).
+        fulls = [full, parse_dependency("r3: E(x, y) -> E(y, x)")]
+        assert WitnessEngine(r1, full, fulls).fires().edge
+
+    def test_oblivious_variant_relaxes_applicability(self):
+        r = parse_dependency("r: E(x, y) -> exists z. E(x, z)")
+        assert not WitnessEngine(r, r, step_variant="standard").precedes().edge
+        assert WitnessEngine(r, r, step_variant="oblivious").precedes().edge
+
+
+class TestDefusalSemantics:
+    def test_vacuous_defusal(self):
+        """Example 11's core: the defusing step's result need not contain
+        the trigger at all."""
+        r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
+        r2 = parse_dependency("r2: E(x, y) -> N(y)")
+        r3 = parse_dependency("r3: E(x, y) -> E(y, x)")
+        assert WitnessEngine(r2, r1, []).fires().edge  # without the defuser
+        assert not WitnessEngine(r2, r1, [r2, r3]).fires().edge
+
+    def test_saturation_neutralises_full_tgd_defusers(self):
+        # An unrelated full TGD can always be pre-satisfied in K, so it
+        # must NOT defuse on its own.
+        r2 = parse_dependency("r2: P(x) & E(x, y) -> N(y)")
+        r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
+        unrelated = parse_dependency("r3: P(x) -> Q(x)")
+        assert WitnessEngine(r2, r1, [r2, unrelated]).fires().edge
+
+    def test_egd_defuser_kills(self):
+        # Σ1's analysis: the EGD always applies to the witness's E-atom.
+        r2 = parse_dependency("r2: E(x, y) -> N(y)")
+        r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
+        egd = parse_dependency("r3: E(x, y) -> x = y")
+        assert not WitnessEngine(r2, r1, [r2, egd]).fires().edge

@@ -1,0 +1,29 @@
+"""Empirical verification of every Table 1 witness claim."""
+
+import pytest
+
+from repro.analysis import check_claim, verify_cases
+from repro.data import witness_cases
+
+
+CASES = witness_cases()
+
+
+@pytest.mark.parametrize(
+    "case, claim",
+    [(c, cl) for c in CASES for cl in c.claims],
+    ids=[
+        f"{c.name}-{cl.variant}-{cl.quantifier}-{'in' if cl.member else 'out'}"
+        for c in CASES
+        for cl in c.claims
+    ],
+)
+def test_claim(case, claim):
+    check = check_claim(case, claim)
+    assert check.holds, f"{case.name}: {claim} — {check.evidence}"
+
+
+def test_verify_cases_runs_everything():
+    checks = verify_cases(CASES)
+    assert len(checks) == sum(len(c.claims) for c in CASES)
+    assert all(c.holds for c in checks)
