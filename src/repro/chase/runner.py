@@ -1,9 +1,17 @@
 """The sequential chase runner: standard, oblivious, and semi-oblivious.
 
 The runner owns a working instance and a pool of *pending* candidate
-triggers.  Discovery is incremental (new facts seed new body matches), while
-a full sweep runs whenever the pool drains, guaranteeing exhaustiveness:
+triggers.  Discovery is **semi-naive**: the instance's delta log feeds each
+newly added (or merge-rewritten) fact into the indexed matching engine,
+which joins it only against bodies mentioning its predicate.  There is no
+"full sweep on drain" any more; DESIGN.md ("Indexed matching and semi-naive
+discovery") states and proves the invariant that replaces it:
 
+* every body homomorphism into the current instance was discovered either
+  by the initial full discovery or when the *latest-added* fact of its
+  image entered the delta log — facts removed by an EGD merge contain the
+  merged-away null and can never reappear, so "latest-added" is well
+  defined;
 * a trigger that fails its applicability check is dead **permanently** for
   every variant (a satisfied TGD trigger stays satisfied under both fact
   additions and EGD merges; an EGD trigger with equal images stays equal;
@@ -11,9 +19,15 @@ a full sweep runs whenever the pool drains, guaranteeing exhaustiveness:
 * EGD merges rewrite the instance, every pending trigger, and every
   recorded (semi-)oblivious trigger key — implementing the paper's
   ``h_i(x) = h_j(x)γ_j···γ_{i-1}`` composed-substitution comparison;
-* rewritten facts count as *new* facts for discovery (a merge can enable
-  body matches with repeated variables, e.g. ``E(x,x)`` after ``E(a,η)``
-  collapses to ``E(a,a)``).
+* rewritten facts re-enter the delta log and count as *new* facts for
+  discovery (a merge can enable body matches with repeated variables,
+  e.g. ``E(x,x)`` after ``E(a,η)`` collapses to ``E(a,a)``).
+
+Each discovery batch is pushed in a canonical order (dependency order in Σ,
+then assignment images), so a run's step sequence depends only on the *set*
+of homomorphisms each discovery finds — the indexed engine and the naive
+reference backend (``engine="naive"``) drive byte-identical chase runs,
+which the differential test suite exploits.
 
 Variant-specific applicability (Section 2):
 
@@ -30,6 +44,7 @@ from typing import Iterable
 
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import violations
+from ..matching import body_atom_index, delta_homomorphisms, using_backend
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
 from ..model.instances import Instance
@@ -68,6 +83,8 @@ class ChaseRunner:
         strategy: Strategy | str = "fifo",
         max_steps: int = 10_000,
         copy_database: bool = True,
+        engine: str | None = None,
+        check_exhaustive: bool = False,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown chase variant {variant!r}; known: {VARIANTS}")
@@ -75,6 +92,8 @@ class ChaseRunner:
         self.variant = variant
         self.strategy = resolve_strategy(strategy)
         self.max_steps = max_steps
+        self.engine = engine
+        self.check_exhaustive = check_exhaustive
         self.instance = database.copy() if copy_database else database
         start = max((n.label for n in self.instance.nulls()), default=0) + 1
         self.nulls = NullFactory(start=start)
@@ -85,60 +104,55 @@ class ChaseRunner:
         self._key_vars: dict[AnyDependency, tuple[Variable, ...]] = {}
         if variant != "standard":
             self._key_vars = {d: _key_variables(d, variant) for d in sigma}
+        self._dep_order = {d: i for i, d in enumerate(sigma)}
+        self._body_index = body_atom_index((d, d.body) for d in sigma)
+        self._tick = 0
 
     # -- discovery ---------------------------------------------------------
 
-    def _push(self, trigger: Trigger) -> None:
-        if trigger not in self._seen:
-            self._seen.add(trigger)
-            self._pending.append(trigger)
+    def _trigger_sort_key(self, trigger: Trigger) -> tuple:
+        return (
+            self._dep_order[trigger.dependency],
+            tuple(repr(t) for _, t in trigger.assignment),
+        )
 
-    def _discover_full(self) -> None:
-        """Full sweep: (re)discover every candidate trigger."""
+    def _push_batch(self, triggers: Iterable[Trigger]) -> None:
+        """Push one discovery batch in canonical order (see module docstring)."""
+        batch = [t for t in triggers if t not in self._seen]
+        batch.sort(key=self._trigger_sort_key)
+        for t in batch:
+            if t not in self._seen:  # batch may repeat a trigger
+                self._seen.add(t)
+                self._pending.append(t)
+
+    def _discover_initial(self) -> None:
+        """Full discovery over the starting instance."""
+        batch = []
         if self.variant == "standard":
             for dep in self.sigma:
                 for h in violations(self.instance, dep):
-                    self._push(Trigger.make(dep, h))
+                    batch.append(Trigger.make(dep, h))
         else:
             for dep in self.sigma:
                 for h in find_homomorphisms(dep.body, self.instance, limit=None):
-                    self._push(Trigger.make(dep, h))
+                    batch.append(Trigger.make(dep, h))
+        self._push_batch(batch)
 
-    def _discover_from_facts(self, new_facts: Iterable[Atom]) -> None:
-        """Find candidate triggers whose body uses one of the new facts."""
-        facts = [f for f in new_facts if f in self.instance]
-        if not facts:
+    def _discover_delta(self) -> None:
+        """Semi-naive discovery: join the delta-log facts added since the
+        last call against the bodies mentioning their predicates."""
+        delta = self.instance.added_since(self._tick)
+        self._tick = self.instance.tick
+        if not delta:
             return
-        by_pred: dict[str, list[Atom]] = {}
-        for f in facts:
-            by_pred.setdefault(f.predicate, []).append(f)
-        for dep in self.sigma:
-            for idx, atom in enumerate(dep.body):
-                for fact in by_pred.get(atom.predicate, ()):
-                    seed = self._seed_from(atom, fact)
-                    if seed is None:
-                        continue
-                    for h in find_homomorphisms(
-                        dep.body, self.instance, seed=seed, limit=None
-                    ):
-                        self._push(Trigger.make(dep, h))
-
-    @staticmethod
-    def _seed_from(atom: Atom, fact: Atom) -> dict | None:
-        """Partial mapping sending ``atom`` onto ``fact`` (or None)."""
-        if atom.arity != fact.arity:
-            return None
-        seed: dict = {}
-        for s, t in zip(atom.args, fact.args):
-            if isinstance(s, Variable):
-                bound = seed.get(s)
-                if bound is None:
-                    seed[s] = t
-                elif bound is not t:
-                    return None
-            elif s is not t:  # constant mismatch
-                return None
-        return seed
+        live = [f for f in delta if f in self.instance]
+        if not live:
+            return
+        batch = [
+            Trigger.make(dep, h)
+            for dep, h in delta_homomorphisms(self._body_index, self.instance, live)
+        ]
+        self._push_batch(batch)
 
     # -- applicability -------------------------------------------------------
 
@@ -160,13 +174,14 @@ class ChaseRunner:
 
     # -- merges ---------------------------------------------------------------
 
-    def _apply_gamma(self, gamma: Substitution) -> list[Atom]:
-        """Rewrite bookkeeping after an EGD merge; returns rewritten facts."""
+    def _apply_gamma(self, gamma: Substitution) -> None:
+        """Rewrite trigger bookkeeping after an EGD merge.
+
+        The instance itself was already rewritten by the step; the rewritten
+        facts re-entered the delta log and are picked up by the next
+        ``_discover_delta`` call.
+        """
         old, new = gamma.old, gamma.new
-        rewritten = [f for f in self.instance.with_term(new)]
-        # with_term(new) after the merge contains both pre-existing facts on
-        # `new` and the rewritten ones; treating all of them as "new facts"
-        # for discovery is harmless (deduped via _seen).
         self._pending = [t.rewrite(old, new) for t in self._pending]
         self._seen = set(self._pending)
         if self._fired_keys:
@@ -174,12 +189,18 @@ class ChaseRunner:
                 (dep, tuple(new if t is old else t for t in images))
                 for dep, images in self._fired_keys
             }
-        return rewritten
 
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> ChaseResult:
-        self._discover_full()
+        if self.engine is None:  # inherit the ambient matching backend
+            return self._run()
+        with using_backend(self.engine):
+            return self._run()
+
+    def _run(self) -> ChaseResult:
+        self._discover_initial()
+        self._tick = self.instance.tick
         while True:
             if len(self.steps) >= self.max_steps:
                 return ChaseResult(
@@ -187,6 +208,8 @@ class ChaseRunner:
                 )
             trigger = self._next_applicable()
             if trigger is None:
+                if self.check_exhaustive:
+                    self._assert_exhaustive()
                 return ChaseResult(
                     ChaseStatus.SUCCESS, self.instance, self.steps, self.variant
                 )
@@ -197,34 +220,37 @@ class ChaseRunner:
             if outcome.failed:
                 return ChaseResult(ChaseStatus.FAILURE, None, self.steps, self.variant)
             if outcome.gamma is not None:
-                rewritten = self._apply_gamma(outcome.gamma)
-                self._discover_from_facts(rewritten)
-            if outcome.added:
-                self._discover_from_facts(outcome.added)
+                self._apply_gamma(outcome.gamma)
+            self._discover_delta()
 
     def _next_applicable(self) -> Trigger | None:
         """Pop pending triggers per strategy until one is applicable.
 
-        Dead triggers are dropped permanently (see module docstring).  When
-        the pool drains, one full sweep re-checks exhaustiveness before
-        concluding the sequence is finished.
+        Dead triggers are dropped permanently and the pool is never
+        re-swept: semi-naive discovery keeps it complete at all times (the
+        invariant in the module docstring / DESIGN.md).
         """
-        swept = False
-        while True:
-            while self._pending:
-                i = self.strategy(self._pending)
-                trigger = self._pending.pop(i)
-                if self._applicable(trigger):
-                    return trigger
-            if swept:
-                return None
-            self._seen.clear()
-            self._discover_full()
-            self._pending = [t for t in self._pending if self._applicable(t)]
-            self._seen = set(self._pending)
-            swept = True
-            if not self._pending:
-                return None
+        while self._pending:
+            i = self.strategy(self._pending)
+            trigger = self._pending.pop(i)
+            if self._applicable(trigger):
+                return trigger
+        return None
+
+    def _assert_exhaustive(self) -> None:
+        """Debug oracle: re-run full discovery and verify nothing fires.
+
+        This is the seed's drain-time sweep, demoted to an assertion.  The
+        differential tests enable it to certify the semi-naive invariant on
+        every terminating run they produce.
+        """
+        for dep in self.sigma:
+            for h in find_homomorphisms(dep.body, self.instance, limit=None):
+                if self._applicable(Trigger.make(dep, h)):
+                    raise AssertionError(
+                        f"semi-naive discovery missed an applicable trigger "
+                        f"for {dep} under {h}"
+                    )
 
 
 def run_chase(
@@ -233,12 +259,16 @@ def run_chase(
     variant: str = "standard",
     strategy: Strategy | str = "fifo",
     max_steps: int = 10_000,
+    engine: str | None = None,
 ) -> ChaseResult:
     """Run one chase sequence of ``database`` with ``sigma``.
 
     ``variant`` is one of ``standard``, ``oblivious``, ``semi_oblivious``;
     ``strategy`` resolves the nondeterministic choice among applicable
-    steps.  The input database is not modified.
+    steps; ``engine`` selects the matching backend (``indexed`` or the
+    ``naive`` reference), or inherits the ambient backend when None —
+    ``using_backend("naive")`` around this call is honoured.  The input
+    database is not modified.
     """
-    runner = ChaseRunner(database, sigma, variant, strategy, max_steps)
+    runner = ChaseRunner(database, sigma, variant, strategy, max_steps, engine=engine)
     return runner.run()

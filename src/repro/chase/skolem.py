@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..homomorphism.finder import find_homomorphisms
+from ..matching import body_atom_index, delta_homomorphisms
 from ..model.atoms import Atom
 from ..model.dependencies import TGD, DependencySet
 from ..model.instances import Instance
@@ -148,30 +149,51 @@ def saturate(
     max_facts: int = 200_000,
     max_rounds: int = 10_000,
 ) -> SaturationResult:
-    """Run the Skolem-chase fixpoint.
+    """Run the Skolem-chase fixpoint, semi-naively.
+
+    Round 1 enumerates every body homomorphism; round ``k > 1`` only joins
+    the facts added in round ``k-1`` (the instance's delta log) against the
+    rule bodies mentioning their predicates.  Because the Skolem chase only
+    ever adds facts, a homomorphism whose image lies entirely in older
+    rounds already contributed its head facts earlier, so each round derives
+    exactly the facts the naive fixpoint would — same rounds, same result.
 
     Stops early when a cyclic term is produced (MFA's alarm) if
     ``stop_on_cyclic``; gives up (``saturated=False``) past the budgets.
     """
     instance = database.copy()
     rules = list(rules)
+    body_index = body_atom_index((rule, rule.source.body) for rule in rules)
     rounds = 0
+    tick = instance.tick
     while rounds < max_rounds:
         rounds += 1
+        if rounds == 1:
+            homs: Iterable[tuple[SkolemisedTGD, dict]] = (
+                (rule, h)
+                for rule in rules
+                for h in find_homomorphisms(rule.source.body, instance, limit=None)
+            )
+        else:
+            homs = delta_homomorphisms(
+                body_index, instance, instance.added_since(tick)
+            )
         new_facts: list[Atom] = []
-        for rule in rules:
-            for h in find_homomorphisms(rule.source.body, instance, limit=None):
-                for fact in rule.head_facts(h):
-                    if fact in instance:
-                        continue
-                    for t in fact.args:
-                        if (
-                            stop_on_cyclic
-                            and isinstance(t, SkolemTerm)
-                            and t.is_cyclic
-                        ):
-                            return SaturationResult(instance, False, t, rounds)
-                    new_facts.append(fact)
+        pending: set[Atom] = set()
+        for rule, h in homs:
+            for fact in rule.head_facts(h):
+                if fact in instance or fact in pending:
+                    continue
+                for t in fact.args:
+                    if (
+                        stop_on_cyclic
+                        and isinstance(t, SkolemTerm)
+                        and t.is_cyclic
+                    ):
+                        return SaturationResult(instance, False, t, rounds)
+                pending.add(fact)
+                new_facts.append(fact)
+        tick = instance.tick
         added = instance.add_all(new_facts)
         if added == 0:
             return SaturationResult(instance, True, None, rounds)

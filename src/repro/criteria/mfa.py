@@ -30,6 +30,7 @@ from ..chase.skolem import (
     skolemise,
 )
 from ..homomorphism.finder import find_homomorphisms
+from ..matching import body_atom_index, delta_homomorphisms
 from ..model.atoms import Atom
 from ..model.dependencies import DependencySet
 from ..model.instances import Instance
@@ -80,26 +81,44 @@ def is_msa(
     contributes.add_nodes_from(summary_const)
     inverse = {c: f for f, c in summary_const.items()}
 
+    # Semi-naive rounds: after the first full enumeration, only join facts
+    # added in the previous round (the delta log) against rule bodies.  A
+    # homomorphism entirely within older rounds already recorded its
+    # contribution edges and head facts when it was first enumerated.
+    body_index = body_atom_index((rule, rule.source.body) for rule in rules)
+    tick = instance.tick
+    first_round = True
     for _ in range(max_rounds):
+        if first_round:
+            homs = (
+                (rule, h)
+                for rule in rules
+                for h in find_homomorphisms(rule.source.body, instance, limit=None)
+            )
+            first_round = False
+        else:
+            homs = delta_homomorphisms(
+                body_index, instance, instance.added_since(tick)
+            )
         new_facts: list[Atom] = []
-        for rule in rules:
-            for h in find_homomorphisms(rule.source.body, instance, limit=None):
-                mapping: dict[Term, Term] = {
-                    v: h[v] for v in rule.source.body_variables()
-                }
-                used = {
-                    inverse[t]
-                    for t in mapping.values()
-                    if isinstance(t, Constant) and t in inverse
-                }
-                for z, functor, arg_vars in rule.functors:
-                    mapping[z] = summary_const[functor]
-                    for g in used:
-                        contributes.add_edge(g, functor)
-                for atom in rule.source.head:
-                    fact = atom.apply(mapping)
-                    if fact not in instance:
-                        new_facts.append(fact)
+        for rule, h in homs:
+            mapping: dict[Term, Term] = {
+                v: h[v] for v in rule.source.body_variables()
+            }
+            used = {
+                inverse[t]
+                for t in mapping.values()
+                if isinstance(t, Constant) and t in inverse
+            }
+            for z, functor, arg_vars in rule.functors:
+                mapping[z] = summary_const[functor]
+                for g in used:
+                    contributes.add_edge(g, functor)
+            for atom in rule.source.head:
+                fact = atom.apply(mapping)
+                if fact not in instance:
+                    new_facts.append(fact)
+        tick = instance.tick
         if instance.add_all(new_facts) == 0:
             break
     else:

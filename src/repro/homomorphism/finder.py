@@ -4,85 +4,37 @@ A homomorphism from a set of atoms ``A1`` to a set of atoms ``A2`` is a
 mapping ``h : Dom(A1) → Dom(A2)`` with ``h(c) = c`` for every constant and
 ``R(h(t)) ∈ A2`` for every ``R(t) ∈ A1`` (Section 2).
 
-The finder is a backtracking CSP search:
+The search itself lives in :mod:`repro.matching`: by default the indexed
+engine (dynamic most-constrained-first atom selection, candidate pools from
+``(predicate, position, term)`` bucket intersection), with the seed's naive
+algorithm retained as a switchable reference backend — see
+``repro.matching.config``.  This module keeps the stable public API:
 
-* atoms of the source are ordered most-constrained-first (fewest candidate
-  target facts given the current partial assignment);
-* the target's predicate index provides candidate facts;
 * a partial seed mapping supports *extension* homomorphisms, which the
-  standard chase's applicability test and EGD satisfaction checks need.
-
-Nulls in the **source** behave like variables (they may map anywhere) unless
-``frozen_nulls`` is set — the universal-model check maps nulls freely, while
-instance containment ``A1 ⊆ A2`` wants them rigid.
+  standard chase's applicability test and EGD satisfaction checks need;
+* nulls in the **source** behave like variables (they may map anywhere)
+  unless ``frozen_nulls`` is set — the universal-model check maps nulls
+  freely, while instance containment ``A1 ⊆ A2`` wants them rigid.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..matching import Homomorphism, homomorphisms
 from ..model.atoms import Atom
 from ..model.instances import Instance
-from ..model.terms import Constant, Null, Term, Variable
+from ..model.terms import Term
 
-
-Homomorphism = dict[Term, Term]
-
-
-class _Target:
-    """Uniform view of the target: an Instance or a plain collection."""
-
-    __slots__ = ("by_predicate",)
-
-    def __init__(self, target: Instance | Iterable[Atom]) -> None:
-        if isinstance(target, Instance):
-            self.by_predicate = {p: target.with_predicate(p) for p in target.predicates()}
-        else:
-            by_pred: dict[str, set[Atom]] = {}
-            for a in target:
-                by_pred.setdefault(a.predicate, set()).add(a)
-            self.by_predicate = by_pred
-
-    def candidates(self, predicate: str) -> set[Atom]:
-        return self.by_predicate.get(predicate, set())
-
-
-def _is_flexible(term: Term, frozen_nulls: bool) -> bool:
-    """Can this source term be (re)mapped?  Variables always; nulls unless
-    frozen; constants never."""
-    if isinstance(term, Variable):
-        return True
-    if isinstance(term, Null):
-        return not frozen_nulls
-    return False
-
-
-def _match_atom(
-    atom: Atom,
-    fact: Atom,
-    mapping: Homomorphism,
-    frozen_nulls: bool,
-) -> Homomorphism | None:
-    """Try to extend ``mapping`` so that ``atom`` maps onto ``fact``.
-
-    Returns the (new) extension dict or None.  The input mapping is not
-    modified.
-    """
-    if atom.predicate != fact.predicate or atom.arity != fact.arity:
-        return None
-    added: Homomorphism = {}
-    for s, t in zip(atom.args, fact.args):
-        if _is_flexible(s, frozen_nulls):
-            bound = mapping.get(s) or added.get(s)
-            if bound is None:
-                added[s] = t
-            elif bound is not t:
-                return None
-        else:
-            # Rigid: constants (and frozen nulls) must match exactly.
-            if s is not t:
-                return None
-    return added
+__all__ = [
+    "Homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "has_homomorphism",
+    "homomorphic_image",
+    "homomorphically_equivalent",
+    "instance_maps_into",
+]
 
 
 def find_homomorphisms(
@@ -99,49 +51,7 @@ def find_homomorphisms(
     The yielded dicts map every flexible term of the source (and include the
     seed entries).
     """
-    tgt = target if isinstance(target, _Target) else _Target(target)
-    mapping: Homomorphism = dict(seed) if seed else {}
-
-    # Check rigid consistency of seed-free constants up front: constants in
-    # the source must not be seeded to something else.
-    for k, v in list(mapping.items()):
-        if isinstance(k, Constant) and k is not v:
-            return  # no homomorphism can remap a constant
-
-    atoms = list(source)
-    if not atoms:
-        yield dict(mapping)
-        return
-
-    count = 0
-
-    def candidate_count(atom: Atom) -> int:
-        return len(tgt.candidates(atom.predicate))
-
-    # Static order: fewest candidates first; dynamic refinement happens via
-    # the bound-variable filter inside the recursion.
-    atoms.sort(key=candidate_count)
-
-    def recurse(idx: int) -> Iterator[Homomorphism]:
-        nonlocal count
-        if idx == len(atoms):
-            yield dict(mapping)
-            return
-        atom = atoms[idx]
-        for fact in tgt.candidates(atom.predicate):
-            added = _match_atom(atom, fact, mapping, frozen_nulls)
-            if added is None:
-                continue
-            mapping.update(added)
-            yield from recurse(idx + 1)
-            for k in added:
-                del mapping[k]
-
-    for h in recurse(0):
-        yield h
-        count += 1
-        if limit is not None and count >= limit:
-            return
+    return homomorphisms(source, target, seed, frozen_nulls, limit)
 
 
 def find_homomorphism(

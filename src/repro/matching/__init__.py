@@ -1,0 +1,58 @@
+"""Delta-driven indexed trigger matching.
+
+The shared matching engine behind every chase consumer — see DESIGN.md,
+"Indexed matching and semi-naive discovery".  Public surface:
+
+* :func:`homomorphisms` — backend-dispatching homomorphism enumeration
+  (``repro.homomorphism.finder`` delegates here);
+* :func:`delta_homomorphisms` / :func:`body_atom_index` — semi-naive
+  discovery over an instance's delta log;
+* :func:`seed_mapping` — anchor a body atom onto a fact;
+* :func:`get_backend` / :func:`set_backend` / :func:`using_backend` —
+  switch between the ``indexed`` engine and the ``naive`` reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.terms import Term
+from . import engine as _engine
+from . import naive as _naive
+from .config import BACKENDS, get_backend, set_backend, using_backend
+from .engine import (
+    Homomorphism,
+    body_atom_index,
+    delta_homomorphisms,
+    match_atom,
+    seed_mapping,
+)
+
+
+def homomorphisms(
+    source: Sequence[Atom],
+    target: Instance | Iterable[Atom],
+    seed: Mapping[Term, Term] | None = None,
+    frozen_nulls: bool = False,
+    limit: int | None = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms using the active matching backend."""
+    if get_backend() == "naive":
+        return _naive.match(source, target, seed, frozen_nulls, limit)
+    return _engine.match(source, target, seed, frozen_nulls, limit)
+
+
+__all__ = [
+    "BACKENDS",
+    "Homomorphism",
+    "body_atom_index",
+    "delta_homomorphisms",
+    "get_backend",
+    "homomorphisms",
+    "match_atom",
+    "seed_mapping",
+    "set_backend",
+    "using_backend",
+]

@@ -1,0 +1,53 @@
+"""Matching backend selection.
+
+Two interchangeable homomorphism-search backends exist:
+
+* ``"indexed"`` (default) — dynamic most-constrained-first search over the
+  instance's ``(predicate, position, term)`` index (:mod:`.engine`);
+* ``"naive"``   — the retained reference: static atom order, full predicate
+  extent scans (:mod:`.naive`).
+
+Both enumerate exactly the same *set* of homomorphisms (possibly in a
+different order); the differential test suite holds them against each
+other.  The backend is a :mod:`contextvars` variable so nested chase runs
+(e.g. the explorer forking runners) compose correctly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+BACKENDS = ("indexed", "naive")
+
+_backend: ContextVar[str] = ContextVar("repro_matching_backend", default="indexed")
+
+
+def get_backend() -> str:
+    """The currently active matching backend name."""
+    return _backend.get()
+
+
+def set_backend(name: str) -> None:
+    """Set the matching backend for the *current context*.
+
+    The setting lives in a :mod:`contextvars` variable: new threads (and
+    contexts copied before the call) start from the ``"indexed"`` default
+    and do not observe it.  Use :func:`using_backend` for scoped switches.
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"unknown matching backend {name!r}; known: {BACKENDS}")
+    _backend.set(name)
+
+
+@contextlib.contextmanager
+def using_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the matching backend (re-entrant)."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown matching backend {name!r}; known: {BACKENDS}")
+    token = _backend.set(name)
+    try:
+        yield
+    finally:
+        _backend.reset(token)

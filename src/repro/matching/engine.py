@@ -1,0 +1,267 @@
+"""Indexed homomorphism matching and semi-naive (delta-driven) discovery.
+
+This is the hot path shared by every chase consumer: the runner's trigger
+discovery, the Skolem saturation loop behind MFA/MSA, the explorer's
+per-state enumeration, dependency satisfaction, query answering and core
+computation all reduce to "enumerate homomorphisms of a small atom set into
+a growing instance".
+
+The engine improves on the naive reference (:mod:`.naive`) in two ways:
+
+* **Dynamic most-constrained-first ordering.**  Instead of fixing the atom
+  order up front, the next body atom is chosen *under the current partial
+  assignment*: the atom whose cheapest candidate pool (smallest
+  ``(predicate, position, term)`` bucket over its bound positions, or the
+  whole predicate extent if nothing is bound yet) is smallest.  Binding one
+  join variable immediately shrinks the pools of every adjacent atom.
+
+* **Position-bucket intersection.**  Candidates for an atom with bound
+  positions are obtained by intersecting the per-position buckets of the
+  instance's index rather than scanning the predicate extent and filtering.
+
+Semi-naive discovery (:func:`delta_homomorphisms`) enumerates exactly the
+homomorphisms whose image uses at least one fact from a delta batch, by
+seeding the search with each (atom, new fact) anchor.  A homomorphism with
+``k`` image facts in the delta is produced up to ``k`` times (and repeated
+body atoms can anchor it more than once); consumers dedupe — the chase
+runner through its trigger-seen set, the saturation loop through the
+instance membership check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.terms import Constant, Null, Term, Variable
+
+Homomorphism = dict[Term, Term]
+
+_EMPTY: frozenset[Atom] = frozenset()
+
+
+class AdHocIndex:
+    """A position index over a plain atom collection (non-``Instance``
+    targets), presenting the same borrowing accessors as ``Instance``."""
+
+    __slots__ = ("_by_predicate", "_by_pos")
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self._by_predicate: dict[str, set[Atom]] = {}
+        self._by_pos: dict[str, list[dict[Term, set[Atom]]]] = {}
+        for a in atoms:
+            self._by_predicate.setdefault(a.predicate, set()).add(a)
+            slots = self._by_pos.setdefault(a.predicate, [])
+            while len(slots) < len(a.args):
+                slots.append({})
+            for i, t in enumerate(a.args):
+                slots[i].setdefault(t, set()).add(a)
+
+    def _pred_bucket(self, predicate: str):
+        return self._by_predicate.get(predicate, _EMPTY)
+
+    def _pos_slots(self, predicate: str):
+        return self._by_pos.get(predicate)
+
+
+def match_atom(
+    atom: Atom,
+    fact: Atom,
+    mapping: Homomorphism,
+    frozen_nulls: bool,
+) -> Homomorphism | None:
+    """Try to extend ``mapping`` so that ``atom`` maps onto ``fact``.
+
+    Returns the (new) extension dict or None.  The input mapping is not
+    modified.
+    """
+    if atom.predicate != fact.predicate or atom.arity != fact.arity:
+        return None
+    added: Homomorphism = {}
+    for s, t in zip(atom.args, fact.args):
+        if isinstance(s, Variable) or (isinstance(s, Null) and not frozen_nulls):
+            bound = mapping.get(s) or added.get(s)
+            if bound is None:
+                added[s] = t
+            elif bound is not t:
+                return None
+        else:
+            # Rigid: constants (and frozen nulls) must match exactly.
+            if s is not t:
+                return None
+    return added
+
+
+def seed_mapping(atom: Atom, fact: Atom) -> Homomorphism | None:
+    """The partial mapping sending ``atom`` onto ``fact``, or None.
+
+    Used to anchor semi-naive discovery: variables bind to the fact's terms
+    (consistently across repeated variables), constants and nulls must
+    match rigidly — i.e. a frozen-null match against an empty mapping.
+    """
+    return match_atom(atom, fact, {}, frozen_nulls=True)
+
+
+def match(
+    source: Sequence[Atom],
+    target: Instance | Iterable[Atom],
+    seed: Mapping[Term, Term] | None = None,
+    frozen_nulls: bool = False,
+    limit: int | None = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from ``source`` atoms into ``target``.
+
+    The indexed counterpart of :func:`repro.matching.naive.match`: same
+    contract, same homomorphism set, different enumeration order and much
+    better complexity on selective bodies.
+    """
+    idx = target if isinstance(target, Instance) else AdHocIndex(target)
+    mapping: Homomorphism = dict(seed) if seed else {}
+
+    # Constants in the source must not be seeded to something else.
+    for k, v in mapping.items():
+        if isinstance(k, Constant) and k is not v:
+            return
+
+    atoms = list(source)
+    if not atoms:
+        yield dict(mapping)
+        return
+
+    # One plan per atom: the borrowed position-bucket list and the argument
+    # slots with rigidity (constants and frozen nulls never consult the
+    # mapping) precomputed.
+    plans = []
+    for a in atoms:
+        slots = idx._pos_slots(a.predicate)
+        args = []
+        for i, s in enumerate(a.args):
+            rigid = not (
+                isinstance(s, Variable)
+                or (isinstance(s, Null) and not frozen_nulls)
+            )
+            args.append((i, s, rigid))
+        plans.append((a, slots, args))
+
+    pred_bucket = idx._pred_bucket
+    get_bound = mapping.get
+
+    def pool_size(plan) -> int:
+        atom, slots, args = plan
+        best = -1
+        for i, s, rigid in args:
+            t = s if rigid else get_bound(s)
+            if t is None:
+                continue
+            if slots is None or i >= len(slots):
+                return 0
+            c = len(slots[i].get(t, _EMPTY))
+            if c == 0:
+                return 0
+            if best < 0 or c < best:
+                best = c
+        if best < 0:
+            return len(pred_bucket(atom.predicate))
+        return best
+
+    def candidate_pool(plan):
+        atom, slots, args = plan
+        buckets = []
+        for i, s, rigid in args:
+            t = s if rigid else get_bound(s)
+            if t is None:
+                continue
+            if slots is None or i >= len(slots):
+                return _EMPTY
+            b = slots[i].get(t, _EMPTY)
+            if not b:
+                return _EMPTY
+            buckets.append(b)
+        if not buckets:
+            return pred_bucket(atom.predicate)
+        if len(buckets) == 1:
+            return buckets[0]
+        buckets.sort(key=len)
+        return buckets[0].intersection(*buckets[1:])
+
+    remaining = plans
+
+    def recurse() -> Iterator[Homomorphism]:
+        if not remaining:
+            yield dict(mapping)
+            return
+        # Most-constrained-first under the current partial assignment.
+        if len(remaining) == 1:
+            best_j = 0
+            if pool_size(remaining[0]) == 0:
+                return
+        else:
+            best_j, best_c = 0, -1
+            for j, plan in enumerate(remaining):
+                c = pool_size(plan)
+                if best_c < 0 or c < best_c:
+                    best_j, best_c = j, c
+                    if c == 0:
+                        return  # some atom has no candidates: dead branch
+        plan = remaining.pop(best_j)
+        atom = plan[0]
+        try:
+            for fact in candidate_pool(plan):
+                added = match_atom(atom, fact, mapping, frozen_nulls)
+                if added is None:
+                    continue
+                mapping.update(added)
+                yield from recurse()
+                for k in added:
+                    del mapping[k]
+        finally:
+            remaining.insert(best_j, plan)
+
+    count = 0
+    for h in recurse():
+        yield h
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+# -- semi-naive discovery ---------------------------------------------------
+
+
+def body_atom_index(
+    items: Iterable[tuple[object, Sequence[Atom]]],
+) -> dict[str, list[tuple[object, Sequence[Atom], Atom]]]:
+    """Index ``(key, body)`` pairs by body-atom predicate.
+
+    Built once per dependency set; :func:`delta_homomorphisms` then joins
+    each new fact only against the bodies that mention its predicate.
+    """
+    by_pred: dict[str, list[tuple[object, Sequence[Atom], Atom]]] = {}
+    for key, body in items:
+        for atom in body:
+            by_pred.setdefault(atom.predicate, []).append((key, body, atom))
+    return by_pred
+
+
+def delta_homomorphisms(
+    by_pred: Mapping[str, list[tuple[object, Sequence[Atom], Atom]]],
+    target: Instance,
+    new_facts: Iterable[Atom],
+) -> Iterator[tuple[object, Homomorphism]]:
+    """Yield ``(key, h)`` for every body homomorphism anchored at a new fact.
+
+    ``target`` must already contain the new facts.  Every homomorphism whose
+    image uses at least one fact of ``new_facts`` is produced (possibly more
+    than once — see the module docstring); homomorphisms entirely within the
+    pre-delta instance are *not*, which is exactly the semi-naive contract.
+    """
+    from . import homomorphisms  # backend dispatch; no cycle at module load
+
+    for fact in new_facts:
+        for key, body, atom in by_pred.get(fact.predicate, ()):
+            seed = seed_mapping(atom, fact)
+            if seed is None:
+                continue
+            for h in homomorphisms(body, target, seed=seed, limit=None):
+                yield key, h

@@ -1,0 +1,135 @@
+"""The retained naive homomorphism-search reference.
+
+This is the seed repository's original algorithm, kept verbatim in spirit:
+atoms are ordered once up front (fewest candidate facts first), and the
+candidates for an atom are the *entire* predicate extent of the target,
+filtered one fact at a time.  It serves two purposes:
+
+* the reference side of the differential test suite
+  (``tests/test_matching_differential.py``), which asserts the indexed
+  engine (:mod:`.engine`) enumerates exactly the same homomorphism sets and
+  drives the chase to identical results;
+* the baseline side of the indexed-vs-naive micro-benchmark
+  (``benchmarks/test_bench_matching.py``).
+
+Do not "improve" this module — its value is being dumb and obviously
+correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.terms import Constant, Null, Term, Variable
+
+Homomorphism = dict[Term, Term]
+
+
+def _is_flexible(term: Term, frozen_nulls: bool) -> bool:
+    """Can this source term be (re)mapped?  Variables always; nulls unless
+    frozen; constants never."""
+    if isinstance(term, Variable):
+        return True
+    if isinstance(term, Null):
+        return not frozen_nulls
+    return False
+
+
+def _match_atom(
+    atom: Atom,
+    fact: Atom,
+    mapping: Homomorphism,
+    frozen_nulls: bool,
+) -> Homomorphism | None:
+    """The seed's atom-onto-fact matcher, kept as a private verbatim copy
+    so the reference shares *no* code with the indexed engine: a defect in
+    the engine's ``match_atom`` cannot become common-mode and slip past
+    the differential tests."""
+    if atom.predicate != fact.predicate or atom.arity != fact.arity:
+        return None
+    added: Homomorphism = {}
+    for s, t in zip(atom.args, fact.args):
+        if _is_flexible(s, frozen_nulls):
+            bound = mapping.get(s) or added.get(s)
+            if bound is None:
+                added[s] = t
+            elif bound is not t:
+                return None
+        else:
+            # Rigid: constants (and frozen nulls) must match exactly.
+            if s is not t:
+                return None
+    return added
+
+
+class _Target:
+    """Uniform view of the target: an Instance or a plain collection."""
+
+    __slots__ = ("by_predicate",)
+
+    def __init__(self, target: Instance | Iterable[Atom]) -> None:
+        if isinstance(target, Instance):
+            self.by_predicate = {
+                p: target._pred_bucket(p) for p in target.predicates()
+            }
+        else:
+            by_pred: dict[str, set[Atom]] = {}
+            for a in target:
+                by_pred.setdefault(a.predicate, set()).add(a)
+            self.by_predicate = by_pred
+
+    def candidates(self, predicate: str):
+        return self.by_predicate.get(predicate, frozenset())
+
+
+def match(
+    source: Sequence[Atom],
+    target: Instance | Iterable[Atom],
+    seed: Mapping[Term, Term] | None = None,
+    frozen_nulls: bool = False,
+    limit: int | None = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from ``source`` atoms into ``target``
+    by exhaustive backtracking over full predicate extents."""
+    tgt = _Target(target)
+    mapping: Homomorphism = dict(seed) if seed else {}
+
+    # Constants in the source must not be seeded to something else.
+    for k, v in list(mapping.items()):
+        if isinstance(k, Constant) and k is not v:
+            return
+
+    atoms = list(source)
+    if not atoms:
+        yield dict(mapping)
+        return
+
+    def candidate_count(atom: Atom) -> int:
+        return len(tgt.candidates(atom.predicate))
+
+    # Static order: fewest candidates first; dynamic refinement happens via
+    # the bound-variable filter inside the recursion.
+    atoms.sort(key=candidate_count)
+
+    def recurse(idx: int) -> Iterator[Homomorphism]:
+        if idx == len(atoms):
+            yield dict(mapping)
+            return
+        atom = atoms[idx]
+        for fact in tgt.candidates(atom.predicate):
+            added = _match_atom(atom, fact, mapping, frozen_nulls)
+            if added is None:
+                continue
+            mapping.update(added)
+            yield from recurse(idx + 1)
+            for k in added:
+                del mapping[k]
+
+    count = 0
+    for h in recurse(0):
+        yield h
+        count += 1
+        if limit is not None and count >= limit:
+            return

@@ -3,21 +3,41 @@
 An *instance* is a set of facts (atoms over constants and labelled nulls);
 a *database* is an instance containing only constants (Section 2).
 
-:class:`Instance` maintains two indexes that the rest of the system depends
-on for performance:
+:class:`Instance` maintains three indexes that the rest of the system
+depends on for performance:
 
 * a predicate index (``predicate → set of facts``) used by the homomorphism
-  finder, and
+  finder,
+* a position index (``(predicate, position) → term → set of facts``) used by
+  the indexed matching engine (:mod:`repro.matching`) to intersect candidate
+  buckets instead of scanning whole predicate extents, and
 * a term index (``term → set of facts containing it``) used by EGD chase
   steps, which must rewrite every fact mentioning the merged null.
+
+It also keeps a monotone *delta log*: every successful :meth:`add` appends
+the fact to an append-only list.  Consumers snapshot :attr:`tick` and later
+call :meth:`added_since` to obtain exactly the facts added in between —
+the semi-naive discovery protocol of the chase runner and of the Skolem
+saturation loop (see DESIGN.md, "Indexed matching and semi-naive
+discovery").  Facts rewritten by :meth:`merge_terms` re-enter the log
+because the rewrite is a discard followed by an add.
+
+The public accessors :meth:`with_predicate` and :meth:`with_term` return
+*copies* of the internal buckets: callers may iterate them while the chase
+mutates the instance without hitting "set changed size during iteration".
+Internal hot paths (the matching engine) use the borrowing accessors
+``_pred_bucket`` / ``_pos_bucket``, whose results are only valid until the
+next mutation and must never be mutated by the caller.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .atoms import Atom
 from .terms import Constant, GroundTerm, Null, Term, Variable
+
+_EMPTY_SET: frozenset[Atom] = frozenset()
 
 
 class InconsistencyError(Exception):
@@ -28,14 +48,19 @@ class InconsistencyError(Exception):
 
 
 class Instance:
-    """A mutable set of facts with predicate and term indexes."""
+    """A mutable set of facts with predicate, position and term indexes."""
 
-    __slots__ = ("_facts", "_by_predicate", "_by_term")
+    __slots__ = ("_facts", "_by_predicate", "_by_term", "_by_pos", "_log")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._facts: set[Atom] = set()
         self._by_predicate: dict[str, set[Atom]] = {}
         self._by_term: dict[Term, set[Atom]] = {}
+        # predicate → per-position list of (term → facts with that term
+        # at that position) buckets.
+        self._by_pos: dict[str, list[dict[Term, set[Atom]]]] = {}
+        # Monotone delta log; see the module docstring.
+        self._log: list[Atom] = []
         for f in facts:
             self.add(f)
 
@@ -49,8 +74,13 @@ class Instance:
             return False
         self._facts.add(fact)
         self._by_predicate.setdefault(fact.predicate, set()).add(fact)
-        for t in fact.args:
+        slots = self._by_pos.setdefault(fact.predicate, [])
+        while len(slots) < len(fact.args):
+            slots.append({})
+        for i, t in enumerate(fact.args):
             self._by_term.setdefault(t, set()).add(fact)
+            slots[i].setdefault(t, set()).add(fact)
+        self._log.append(fact)
         return True
 
     def add_all(self, facts: Iterable[Atom]) -> int:
@@ -73,12 +103,23 @@ class Instance:
                 tb.discard(fact)
                 if not tb:
                     del self._by_term[t]
+        slots = self._by_pos.get(fact.predicate)
+        if slots is not None:
+            for i, t in enumerate(fact.args):
+                cell = slots[i].get(t)
+                if cell is not None:
+                    cell.discard(fact)
+                    if not cell:
+                        del slots[i][t]
         return True
 
     def merge_terms(self, old: Null, new: GroundTerm) -> None:
         """Replace every occurrence of the null ``old`` by ``new`` in place.
 
         This is the effect of an EGD chase step's substitution γ = {old/new}.
+        Rewritten facts re-enter the delta log (a merge can enable body
+        matches with repeated variables, so they count as new facts for
+        semi-naive discovery).
         """
         if old is new:
             return
@@ -89,6 +130,22 @@ class Instance:
         for fact in touched:
             self.discard(fact)
             self.add(fact.apply(mapping))
+
+    # -- delta log ---------------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        """The current position of the delta log (monotonically increasing)."""
+        return len(self._log)
+
+    def added_since(self, tick: int) -> Sequence[Atom]:
+        """The facts added after log position ``tick``, in add order.
+
+        Facts that were added and later discarded (e.g. rewritten away by a
+        subsequent merge) still appear; callers that only care about live
+        facts should re-check membership.
+        """
+        return self._log[tick:]
 
     # -- queries ------------------------------------------------------------
 
@@ -125,19 +182,48 @@ class Instance:
 
     def copy(self) -> "Instance":
         out = Instance()
-        # Rebuild indexes by direct copying (faster than re-adding).
+        # Rebuild indexes by direct copying (faster than re-adding).  The
+        # delta log starts empty: ticks are relative to each instance.
         out._facts = set(self._facts)
         out._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
         out._by_term = {t: set(s) for t, s in self._by_term.items()}
+        out._by_pos = {
+            pred: [{t: set(s) for t, s in cells.items()} for cells in slots]
+            for pred, slots in self._by_pos.items()
+        }
         return out
 
-    def with_predicate(self, predicate: str) -> set[Atom]:
-        """All facts over ``predicate`` (empty set if none)."""
-        return self._by_predicate.get(predicate, set())
+    def with_predicate(self, predicate: str) -> frozenset[Atom]:
+        """All facts over ``predicate`` (a snapshot, safe to iterate while
+        the instance mutates)."""
+        bucket = self._by_predicate.get(predicate)
+        return frozenset(bucket) if bucket else _EMPTY_SET
 
-    def with_term(self, term: Term) -> set[Atom]:
-        """All facts mentioning ``term``."""
-        return self._by_term.get(term, set())
+    def with_term(self, term: Term) -> frozenset[Atom]:
+        """All facts mentioning ``term`` (a snapshot, safe to iterate while
+        the instance mutates)."""
+        bucket = self._by_term.get(term)
+        return frozenset(bucket) if bucket else _EMPTY_SET
+
+    # -- borrowing accessors (internal; see module docstring) ---------------
+
+    def _pred_bucket(self, predicate: str) -> set[Atom] | frozenset[Atom]:
+        """Live predicate bucket — read-only, valid until the next mutation."""
+        return self._by_predicate.get(predicate, _EMPTY_SET)
+
+    def _pos_bucket(
+        self, predicate: str, index: int, term: Term
+    ) -> set[Atom] | frozenset[Atom]:
+        """Live ``(predicate, position, term)`` bucket — read-only, valid
+        until the next mutation."""
+        slots = self._by_pos.get(predicate)
+        if slots is None or index >= len(slots):
+            return _EMPTY_SET
+        return slots[index].get(term, _EMPTY_SET)
+
+    def _pos_slots(self, predicate: str) -> list[dict[Term, set[Atom]]] | None:
+        """Live per-position bucket list for ``predicate`` (or None)."""
+        return self._by_pos.get(predicate)
 
     def predicates(self) -> set[str]:
         return set(self._by_predicate)

@@ -1,0 +1,329 @@
+"""Differential tests: indexed matching engine vs the retained naive reference.
+
+The indexed engine (``repro.matching.engine``) must be *observationally
+identical* to the naive reference (``repro.matching.naive``):
+
+* both enumerate exactly the same homomorphism sets (order may differ);
+* a chase run driven by either backend produces the identical
+  ``ChaseResult`` — status, step count, and final instance — for all three
+  variants and all strategies, because the runner pushes each discovery
+  batch in a canonical order;
+* the semi-naive saturation loop derives exactly what the seed's naive
+  full-re-enumeration fixpoint derived, round for round;
+* the runner's semi-naive discovery invariant holds: at drain time a full
+  re-sweep (the seed's old exhaustiveness guarantee, now demoted to a debug
+  oracle) finds no applicable trigger.
+
+Programs come from ``generators.random_deps`` (unstructured stressors) and
+``generators.corpus`` (ontology-shaped); the random-program tests cover
+well over 200 seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chase.runner import ChaseRunner, run_chase
+from repro.chase.skolem import SkolemTerm, critical_instance, saturate, skolemise
+from repro.generators.corpus import generate_corpus
+from repro.generators.databases import seed_database
+from repro.generators.random_deps import random_dependency_set
+from repro.matching import engine as indexed_engine
+from repro.matching import naive as naive_engine
+from repro.model.atoms import Atom
+from repro.model.instances import Instance
+from repro.model.terms import Constant, Null
+
+VARIANTS = ("standard", "oblivious", "semi_oblivious")
+
+
+def random_instance(seed, sigma, n_facts=14, n_consts=4, n_nulls=2):
+    """A reproducible random instance over Σ's schema."""
+    rng = random.Random(seed)
+    pool = [Constant(f"c{i}") for i in range(n_consts)]
+    pool += [Null(900 + i) for i in range(n_nulls)]
+    preds = sorted(sigma.predicates().items())
+    inst = Instance()
+    for _ in range(n_facts):
+        if not preds:
+            break
+        p, ar = rng.choice(preds)
+        inst.add(Atom(p, [rng.choice(pool) for _ in range(ar)]))
+    return inst
+
+
+def hom_key(h):
+    """Order-insensitive identity of one homomorphism."""
+    return frozenset((repr(k), repr(v)) for k, v in h.items())
+
+
+def hom_set(matcher, body, target, **kw):
+    return {hom_key(h) for h in matcher.match(body, target, limit=None, **kw)}
+
+
+def assert_same_result(r1, r2, context=""):
+    assert r1.status is r2.status, context
+    assert r1.step_count == r2.step_count, context
+    assert (r1.instance is None) == (r2.instance is None), context
+    if r1.instance is not None:
+        assert r1.instance.facts() == r2.instance.facts(), context
+
+
+# -- homomorphism-set equality ----------------------------------------------
+
+
+def test_homomorphism_sets_identical_on_random_programs():
+    """≥200 seeded random programs: identical enumeration, body by body."""
+    for seed in range(220):
+        sigma = random_dependency_set(seed, n_deps=6)
+        inst = random_instance(seed * 7 + 1, sigma)
+        for dep in sigma:
+            assert hom_set(indexed_engine, dep.body, inst) == hom_set(
+                naive_engine, dep.body, inst
+            ), f"seed={seed} dep={dep}"
+
+
+def test_homomorphism_sets_identical_with_seeds_and_frozen_nulls():
+    for seed in range(60):
+        sigma = random_dependency_set(seed, n_deps=5)
+        inst = random_instance(seed * 11 + 5, sigma, n_nulls=3)
+        for dep in sigma:
+            # Anchor the first body atom onto every compatible fact, the way
+            # semi-naive discovery does, and compare extension sets.
+            atom = dep.body[0]
+            for fact in inst.with_predicate(atom.predicate):
+                partial = indexed_engine.seed_mapping(atom, fact)
+                if partial is None:
+                    continue
+                for frozen in (False, True):
+                    assert hom_set(
+                        indexed_engine, dep.body, inst, seed=partial,
+                        frozen_nulls=frozen,
+                    ) == hom_set(
+                        naive_engine, dep.body, inst, seed=partial,
+                        frozen_nulls=frozen,
+                    ), f"seed={seed} dep={dep} fact={fact} frozen={frozen}"
+
+
+def test_homomorphism_sets_identical_on_corpus_bodies():
+    corpus = generate_corpus(tests_scale=0.03)
+    assert corpus
+    for ont in corpus:
+        db = seed_database(ont.sigma)
+        for dep in list(ont.sigma)[:15]:
+            assert hom_set(indexed_engine, dep.body, db) == hom_set(
+                naive_engine, dep.body, db
+            ), f"{ont.name} dep={dep}"
+
+
+def test_non_instance_targets_and_empty_sources():
+    """Plain atom collections go through the ad-hoc index; empty sources
+    yield exactly the seed mapping."""
+    a, b = Constant("a"), Constant("b")
+    facts = [Atom("E", (a, b)), Atom("E", (b, a)), Atom("N", (a,))]
+    sigma = random_dependency_set(3, n_deps=4)
+    for dep in sigma:
+        assert hom_set(indexed_engine, dep.body, facts) == hom_set(
+            naive_engine, dep.body, facts
+        )
+    assert list(indexed_engine.match([], facts, seed={a: a})) == [{a: a}]
+    assert list(naive_engine.match([], facts, seed={a: a})) == [{a: a}]
+
+
+# -- chase differential -------------------------------------------------------
+
+
+def test_chase_differential_on_random_programs():
+    """≥200 seeded random programs × all variants × two strategies."""
+    for seed in range(200):
+        sigma = random_dependency_set(seed, n_deps=6)
+        db = random_instance(seed * 13 + 3, sigma, n_facts=8, n_nulls=0)
+        for variant in VARIANTS:
+            for strategy in ("fifo", "full_first"):
+                r_idx = run_chase(
+                    db, sigma, variant=variant, strategy=strategy,
+                    max_steps=50, engine="indexed",
+                )
+                r_nai = run_chase(
+                    db, sigma, variant=variant, strategy=strategy,
+                    max_steps=50, engine="naive",
+                )
+                assert_same_result(
+                    r_idx, r_nai, f"seed={seed} {variant}/{strategy}"
+                )
+
+
+def test_chase_differential_all_strategies():
+    """The canonical batch order makes every strategy backend-agnostic."""
+    for seed in range(25):
+        sigma = random_dependency_set(seed, n_deps=6)
+        db = random_instance(seed * 17 + 9, sigma, n_facts=8, n_nulls=0)
+        for variant in VARIANTS:
+            for strategy in ("fifo", "lifo", "full_first", "egd_first",
+                             "existential_first"):
+                r_idx = run_chase(
+                    db, sigma, variant=variant, strategy=strategy,
+                    max_steps=40, engine="indexed",
+                )
+                r_nai = run_chase(
+                    db, sigma, variant=variant, strategy=strategy,
+                    max_steps=40, engine="naive",
+                )
+                assert_same_result(
+                    r_idx, r_nai, f"seed={seed} {variant}/{strategy}"
+                )
+
+
+def test_chase_differential_on_corpus():
+    corpus = generate_corpus(tests_scale=0.03)
+    assert corpus
+    for ont in corpus:
+        db = seed_database(ont.sigma)
+        for variant in VARIANTS:
+            r_idx = run_chase(
+                db, ont.sigma, variant=variant, strategy="full_first",
+                max_steps=150, engine="indexed",
+            )
+            r_nai = run_chase(
+                db, ont.sigma, variant=variant, strategy="full_first",
+                max_steps=150, engine="naive",
+            )
+            assert_same_result(r_idx, r_nai, f"{ont.name} {variant}")
+
+
+def test_semi_naive_discovery_is_exhaustive():
+    """The debug oracle re-runs the seed's full drain-time sweep and
+    asserts semi-naive discovery missed nothing, on every terminating run."""
+    for seed in range(40):
+        sigma = random_dependency_set(seed, n_deps=5)
+        db = random_instance(seed * 3 + 11, sigma, n_facts=8, n_nulls=0)
+        for variant in VARIANTS:
+            ChaseRunner(
+                db, sigma, variant, "fifo", max_steps=80,
+                check_exhaustive=True,
+            ).run()
+
+
+# -- saturation differential --------------------------------------------------
+
+
+def reference_naive_saturate(database, rules, max_facts, max_rounds):
+    """The seed's saturation loop: full re-enumeration every round, via the
+    naive matcher.  Returns (facts, saturated, alarmed, rounds)."""
+    instance = database.copy()
+    rules = list(rules)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        new_facts = []
+        for rule in rules:
+            for h in naive_engine.match(rule.source.body, instance, limit=None):
+                for fact in rule.head_facts(h):
+                    if fact in instance:
+                        continue
+                    for t in fact.args:
+                        if isinstance(t, SkolemTerm) and t.is_cyclic:
+                            return instance.facts(), False, True, rounds
+                    new_facts.append(fact)
+        if instance.add_all(new_facts) == 0:
+            return instance.facts(), True, False, rounds
+        if len(instance) > max_facts:
+            return instance.facts(), False, False, rounds
+    return instance.facts(), False, False, rounds
+
+
+def test_saturation_differential_on_random_programs():
+    checked = 0
+    for seed in range(120):
+        sigma = random_dependency_set(seed, n_deps=6, egd_fraction=0.0)
+        if sigma.egds or not len(sigma.tgds):
+            continue
+        rules = skolemise(sigma, "semi_oblivious")
+        base = critical_instance(sigma)
+        result = saturate(base, rules, max_facts=2_000, max_rounds=30)
+        ref = reference_naive_saturate(base, rules, max_facts=2_000, max_rounds=30)
+        got = (result.instance.facts(), result.saturated, result.alarmed,
+               result.rounds)
+        assert got == ref, f"seed={seed}"
+        checked += 1
+    assert checked >= 80  # the generator rarely emits empty TGD sets
+
+
+def reference_naive_msa(sigma, max_rounds=2_000):
+    """The seed's MSA loop: full re-enumeration every round via the naive
+    matcher, same summary constants and contribution-edge recording.
+    Returns (accepted, exact) exactly like ``is_msa``."""
+    import networkx as nx
+
+    from repro.chase.skolem import critical_instance, skolemise
+    from repro.model.terms import Constant
+
+    rules = skolemise(sigma, "semi_oblivious")
+    instance = critical_instance(sigma)
+    summary_const = {
+        functor: Constant(f"@{functor}")
+        for rule in rules
+        for _, functor, _ in rule.functors
+    }
+    contributes = nx.DiGraph()
+    contributes.add_nodes_from(summary_const)
+    inverse = {c: f for f, c in summary_const.items()}
+    for _ in range(max_rounds):
+        new_facts = []
+        for rule in rules:
+            for h in naive_engine.match(rule.source.body, instance, limit=None):
+                mapping = {v: h[v] for v in rule.source.body_variables()}
+                used = {
+                    inverse[t]
+                    for t in mapping.values()
+                    if isinstance(t, Constant) and t in inverse
+                }
+                for z, functor, _ in rule.functors:
+                    mapping[z] = summary_const[functor]
+                    for g in used:
+                        contributes.add_edge(g, functor)
+                for atom in rule.source.head:
+                    fact = atom.apply(mapping)
+                    if fact not in instance:
+                        new_facts.append(fact)
+        if instance.add_all(new_facts) == 0:
+            break
+    else:
+        return False, False
+    try:
+        nx.find_cycle(contributes)
+        return False, True
+    except nx.NetworkXNoCycle:
+        return True, True
+
+
+def test_msa_differential_on_random_programs():
+    """The semi-naive MSA loop (delta rounds + indexed matcher) must agree
+    with the seed's full-re-enumeration naive loop, program for program —
+    the contribution edges recorded from delta homomorphisms alone must
+    produce the same cyclicity verdict."""
+    from repro.criteria.mfa import is_msa
+
+    checked = 0
+    for seed in range(120):
+        sigma = random_dependency_set(seed, n_deps=6, egd_fraction=0.0)
+        if sigma.egds or not len(sigma.tgds):
+            continue
+        assert is_msa(sigma) == reference_naive_msa(sigma), f"seed={seed}"
+        checked += 1
+    assert checked >= 80
+
+
+def test_saturation_differential_oblivious_variant():
+    for seed in range(40):
+        sigma = random_dependency_set(seed, n_deps=5, egd_fraction=0.0)
+        if sigma.egds or not len(sigma.tgds):
+            continue
+        rules = skolemise(sigma, "oblivious")
+        base = critical_instance(sigma)
+        result = saturate(base, rules, max_facts=1_500, max_rounds=25)
+        ref = reference_naive_saturate(base, rules, max_facts=1_500, max_rounds=25)
+        assert (result.instance.facts(), result.saturated, result.alarmed,
+                result.rounds) == ref, f"seed={seed}"
