@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import signal
 
 import pytest
 
@@ -22,6 +23,31 @@ from repro.analysis.evaluation import evaluate_ontology, summarise
 from repro.generators import generate_corpus
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-bench timeout guard, mirroring tests/conftest.py (benches are
+#: slower, so the default allowance is larger).  0 disables.
+BENCH_TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "900"))
+
+
+@pytest.fixture(autouse=True)
+def _per_bench_timeout():
+    if BENCH_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"bench exceeded the {BENCH_TIMEOUT_S:.0f}s timeout guard",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, BENCH_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def write_result(name: str, text: str) -> None:

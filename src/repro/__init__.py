@@ -30,7 +30,8 @@ Quickstart::
     print(result.instance)
 """
 
-from .analysis import ClassificationReport, classify
+from .analysis import ClassificationReport, ClassifyConfig, classify
+from .budget import Budget, BudgetExhausted, Cancellation, budget_scope
 from .chase import (
     ChaseResult,
     ChaseStatus,
@@ -75,7 +76,12 @@ from .simulation import natural_simulation, substitution_free_simulation
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "Cancellation",
+    "budget_scope",
     "ClassificationReport",
+    "ClassifyConfig",
     "classify",
     "ChaseResult",
     "ChaseStatus",

@@ -1,6 +1,11 @@
 """Analysis facade: criterion portfolio, corpus evaluation, Table 1 checks."""
 
-from .classify import DEFAULT_ORDER, ClassificationReport, classify
+from .classify import (
+    DEFAULT_ORDER,
+    ClassificationReport,
+    ClassifyConfig,
+    classify,
+)
 from .evaluation import (
     HALT_STRATEGIES,
     ClassSummary,
@@ -15,6 +20,7 @@ from .hierarchy import ClaimCheck, check_claim, render_table1, verify_cases
 __all__ = [
     "DEFAULT_ORDER",
     "ClassificationReport",
+    "ClassifyConfig",
     "classify",
     "HALT_STRATEGIES",
     "ClassSummary",

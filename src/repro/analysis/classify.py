@@ -6,19 +6,86 @@ This is the top-level entry point a downstream user reaches for first::
     from repro import classify, parse_dependencies
     report = classify(parse_dependencies(text))
     print(report)
+
+The portfolio can run the criteria **concurrently** (``jobs=N``), under
+**per-criterion budgets** (``budget_steps`` / ``budget_ms``), and with
+**short-circuiting**: cheap static criteria (WA, SC — microseconds)
+usually decide the strongest possible headline verdict ("all standard
+chase sequences terminate") long before the expensive semantic ones (LS,
+S-Str, SAC — the witness engine and adornment saturation behind them)
+would finish, so once the headline can no longer improve the remaining
+criteria are cancelled cooperatively through their budgets'
+:class:`~repro.budget.Cancellation` tokens.
+
+Semantics:
+
+* with short-circuiting **off** (the default), every selected criterion
+  runs to completion and the report is verdict-identical whether
+  ``jobs=1`` or ``jobs=N`` — criteria are independent and each pair
+  decision is deterministic (the shared firing-decision cache only ever
+  stores deterministic decisions, see :mod:`repro.firing.relations`);
+* with short-circuiting **on**, the *headline* verdict (the ``⇒`` line)
+  is always identical to the full portfolio's, but criteria whose result
+  could no longer change it are reported as short-circuited instead of
+  being run;
+* a criterion whose budget blows reports ``exhausted`` — visible in the
+  report and in the CLI's exit code 2 — rather than hanging or silently
+  masquerading as a trusted rejection.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field, replace
 
+from ..budget import Budget, Cancellation
 from ..criteria.base import CriterionResult, Guarantee, get_criterion, registry
+from ..firing.relations import shared_firing_cache
 from ..model.dependencies import DependencySet
 
 #: Criteria ordered roughly by cost (cheap static ones first).
 DEFAULT_ORDER = [
     "WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "SR", "IR", "Str", "S-Str", "SAC",
 ]
+
+
+@dataclass
+class ClassifyConfig:
+    """Tuning knobs of one portfolio run.
+
+    ``budget_steps``/``budget_ms`` are *per criterion*: each criterion
+    gets a fresh :class:`~repro.budget.Budget` with these limits, all
+    sharing one :class:`~repro.budget.Cancellation` token so the
+    portfolio can revoke stragglers.  ``jobs`` sizes the thread pool
+    (1 = run inline, sequentially).  ``short_circuit`` cancels criteria
+    that can no longer change the headline verdict.
+    """
+
+    criteria: list[str] | None = None
+    jobs: int = 1
+    budget_steps: int | None = None
+    budget_ms: float | None = None
+    short_circuit: bool = False
+    stop_on_first: bool = False
+
+    def names(self) -> list[str]:
+        if self.criteria is not None:
+            return list(self.criteria)
+        return [n for n in DEFAULT_ORDER if n in registry()]
+
+    def make_budget(self, cancellation: Cancellation) -> Budget | None:
+        if (
+            self.budget_steps is None
+            and self.budget_ms is None
+            and not self.short_circuit
+            and not self.stop_on_first
+        ):
+            return None  # nothing to bound, nothing to cancel
+        return Budget(
+            max_steps=self.budget_steps,
+            max_ms=self.budget_ms,
+            cancellation=cancellation,
+        )
 
 
 @dataclass
@@ -45,43 +112,217 @@ class ClassificationReport:
         """Some accepting criterion guarantees (at least) CTstd∃."""
         return any(r.accepted for r in self.results.values())
 
+    @property
+    def any_exhausted(self) -> bool:
+        """Did some criterion blow its resource budget?
+
+        Criteria the portfolio *chose* not to finish (short-circuited
+        once the headline verdict was decided) do not count: only genuine
+        budget trouble, where a rejection cannot be trusted.
+        """
+        return any(
+            r.exhausted is not None and not r.skipped
+            for r in self.results.values()
+        )
+
+    @property
+    def verdict(self) -> str:
+        if self.guarantees_all:
+            return "all standard chase sequences terminate"
+        if self.guarantees_exists:
+            return "a terminating standard chase sequence exists"
+        return "no criterion applies (termination unknown)"
+
     def __str__(self) -> str:
         lines = [f"classification of Σ ({len(self.sigma)} dependencies):"]
         for name, r in self.results.items():
+            if r.skipped:
+                lines.append(f"  - {name:<6} (short-circuited)")
+                continue
             mark = "✓" if r.accepted else "✗"
             kind = "∀" if r.guarantee is Guarantee.CT_ALL else "∃"
             approx = "" if r.exact else " ~"
+            budget = " [budget]" if r.exhausted is not None else ""
             lines.append(
-                f"  {mark} {name:<6} (CTstd{kind}){approx}  {r.elapsed_ms:8.1f} ms"
+                f"  {mark} {name:<6} (CTstd{kind}){approx}{budget}  {r.elapsed_ms:8.1f} ms"
             )
-        if self.guarantees_all:
-            verdict = "all standard chase sequences terminate"
-        elif self.guarantees_exists:
-            verdict = "a terminating standard chase sequence exists"
-        else:
-            verdict = "no criterion applies (termination unknown)"
-        lines.append(f"  ⇒ {verdict}")
+        lines.append(f"  ⇒ {self.verdict}")
         return "\n".join(lines)
+
+
+def _headline_decided(report: ClassificationReport, pending: list[str]) -> list[str]:
+    """Which pending criteria can no longer improve the headline verdict?
+
+    Once a CTstd∀ criterion accepts, nothing can improve on "all
+    sequences terminate".  Once only the CTstd∃ headline is established,
+    further CTstd∃ acceptances change nothing, but CTstd∀ criteria must
+    still run.
+    """
+    if report.guarantees_all:
+        return list(pending)
+    if report.guarantees_exists:
+        return [
+            n for n in pending
+            if get_criterion(n).guarantee is Guarantee.CT_EXISTS
+        ]
+    return []
+
+
+def _short_circuited(name: str, guarantee: Guarantee) -> CriterionResult:
+    return CriterionResult(
+        criterion=name,
+        accepted=False,
+        guarantee=guarantee,
+        exact=False,
+        details={"short_circuited": True},
+    )
+
+
+def _reclassify_cancelled(
+    result: CriterionResult, token_cancelled: bool = False
+) -> CriterionResult:
+    """A run cancelled by the portfolio is a short-circuit, not trouble.
+
+    The cancellation may surface in the result itself (``exhausted``
+    says "cancelled") or only in a *nested* budget that absorbed it —
+    which the result cannot show, so the caller passes the token state;
+    a nested absorption always leaves ``exact=False``, which is how a
+    cancelled-mid-run result is told apart from one that genuinely
+    completed just as the cancel landed (the latter keeps its trusted
+    verdict).  A criterion that *accepted* always keeps its result:
+    acceptance is sound no matter when the cancel landed.
+    """
+    cancelled = (
+        result.exhausted is not None
+        and result.exhausted.dimension == "cancelled"
+    ) or (token_cancelled and not result.accepted and not result.exact)
+    if cancelled:
+        details = dict(result.details)
+        details["short_circuited"] = True
+        return replace(result, details=details, exhausted=None, exact=False)
+    return result
 
 
 def classify(
     sigma: DependencySet,
     criteria: list[str] | None = None,
     stop_on_first: bool = False,
+    jobs: int = 1,
+    budget_steps: int | None = None,
+    budget_ms: float | None = None,
+    short_circuit: bool = False,
+    config: ClassifyConfig | None = None,
 ) -> ClassificationReport:
     """Run the (selected) criteria on Σ.
 
     ``criteria`` defaults to every registered criterion in rough cost
     order.  ``stop_on_first`` stops at the first acceptance — useful when
-    only the verdict matters.
+    only the verdict matters.  The remaining knobs (or an explicit
+    ``config``) select the parallel portfolio: see :class:`ClassifyConfig`.
     """
-    names = criteria if criteria is not None else [
-        n for n in DEFAULT_ORDER if n in registry()
-    ]
+    if config is None:
+        config = ClassifyConfig(
+            criteria=criteria,
+            jobs=jobs,
+            budget_steps=budget_steps,
+            budget_ms=budget_ms,
+            short_circuit=short_circuit,
+            stop_on_first=stop_on_first,
+        )
+    names = config.names()
     report = ClassificationReport(sigma)
-    for name in names:
-        result = get_criterion(name).check(sigma)
-        report.results[name] = result
-        if stop_on_first and result.accepted:
-            break
+    with shared_firing_cache():
+        if config.jobs <= 1:
+            _run_sequential(sigma, names, config, report)
+        else:
+            _run_parallel(sigma, names, config, report)
+    # Present results in portfolio order regardless of completion order.
+    report.results = {n: report.results[n] for n in names if n in report.results}
     return report
+
+
+def _run_sequential(
+    sigma: DependencySet,
+    names: list[str],
+    config: ClassifyConfig,
+    report: ClassificationReport,
+) -> None:
+    cancellation = Cancellation()
+    pending = list(names)
+    while pending:
+        name = pending.pop(0)
+        criterion = get_criterion(name)
+        result = criterion.check(sigma, budget=config.make_budget(cancellation))
+        report.results[name] = result
+        if config.stop_on_first and result.accepted:
+            return
+        if config.short_circuit:
+            for skipped in _headline_decided(report, pending):
+                pending.remove(skipped)
+                report.results[skipped] = _short_circuited(
+                    skipped, get_criterion(skipped).guarantee
+                )
+
+
+def _run_parallel(
+    sigma: DependencySet,
+    names: list[str],
+    config: ClassifyConfig,
+    report: ClassificationReport,
+) -> None:
+    import contextvars
+
+    tokens = {name: Cancellation() for name in names}
+
+    def worker(name: str) -> CriterionResult:
+        return get_criterion(name).check(
+            sigma, budget=config.make_budget(tokens[name])
+        )
+
+    # Submission is *lazy*: at most ``jobs`` criteria are in flight, so
+    # the short-circuit decision taken after each completion can spare
+    # the expensive criteria from ever starting.  (Submitting everything
+    # upfront would let idle workers race into LS/S-Str/SAC while the
+    # cheap acceptances that make them irrelevant are still being
+    # collected.)
+    queue = list(names)
+    running: dict = {}
+
+    def drop_queued(name: str) -> None:
+        queue.remove(name)
+        report.results[name] = _short_circuited(
+            name, get_criterion(name).guarantee
+        )
+
+    with ThreadPoolExecutor(max_workers=config.jobs) as pool:
+        while queue or running:
+            while queue and len(running) < config.jobs:
+                name = queue.pop(0)
+                # Each task gets its own context copy so the shared
+                # firing cache (a contextvar) installed by classify() is
+                # visible in the worker thread.
+                ctx = contextvars.copy_context()
+                running[pool.submit(ctx.run, worker, name)] = name
+            done, _ = wait(running, return_when=FIRST_COMPLETED)
+            accepted = False
+            for fut in done:
+                name = running.pop(fut)
+                result = _reclassify_cancelled(
+                    fut.result(), tokens[name].cancelled
+                )
+                report.results[name] = result
+                accepted = accepted or result.accepted
+            if config.stop_on_first and accepted:
+                for name in list(queue):
+                    drop_queued(name)
+                for token in tokens.values():
+                    token.cancel()
+            elif config.short_circuit:
+                pending = list(queue) + list(running.values())
+                for name in _headline_decided(report, pending):
+                    if name in queue:
+                        drop_queued(name)
+                    else:
+                        tokens[name].cancel()  # collected on completion
+        # Cancelled runs are reclassified as short-circuited by
+        # _reclassify_cancelled when their futures complete above.

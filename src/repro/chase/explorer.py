@@ -26,6 +26,7 @@ import enum
 import itertools
 from dataclasses import dataclass
 
+from ..budget import Budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import violations
 from ..model.atoms import Atom
@@ -137,15 +138,22 @@ def explore_chase(
     variant: str = "standard",
     max_depth: int = 20,
     max_states: int = 20_000,
+    budget: Budget | None = None,
 ) -> ExplorationResult:
-    """Explore every ``variant``-chase sequence of (database, sigma)."""
+    """Explore every ``variant``-chase sequence of (database, sigma).
+
+    ``budget`` (one step charged per visited state) adds wall-clock bounds
+    and cancellation on top of the ``max_states`` cap; exhausting either
+    counts as hitting the state budget for the verdict.
+    """
+    budget = budget if budget is not None else Budget()
     key_vars = {d: _key_variables(d, variant) for d in sigma} if variant != "standard" else {}
     memo: set[tuple] = set()
     stats = {"terminating": 0, "failing": 0, "capped": 0, "states": 0}
     budget_hit = [False]
 
     def visit(instance: Instance, fired: frozenset, depth: int) -> None:
-        if stats["states"] >= max_states:
+        if stats["states"] >= max_states or not budget.charge():
             budget_hit[0] = True
             return
         stats["states"] += 1

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..budget import BudgetExhausted
 from ..model.instances import Instance
 from .step import StepOutcome
 
@@ -35,6 +36,9 @@ class ChaseResult:
     instance: Instance | None
     steps: list[StepOutcome] = field(default_factory=list)
     variant: str = "standard"
+    #: Which budget dimension stopped an EXCEEDED run (None for the plain
+    #: step cap, and always None for terminating runs).
+    exhausted: BudgetExhausted | None = None
 
     @property
     def terminated(self) -> bool:

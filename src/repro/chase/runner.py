@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..budget import Budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import violations
 from ..matching import body_atom_index, delta_homomorphisms, using_backend
@@ -85,6 +86,7 @@ class ChaseRunner:
         copy_database: bool = True,
         engine: str | None = None,
         check_exhaustive: bool = False,
+        budget: Budget | None = None,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown chase variant {variant!r}; known: {VARIANTS}")
@@ -92,6 +94,9 @@ class ChaseRunner:
         self.variant = variant
         self.strategy = resolve_strategy(strategy)
         self.max_steps = max_steps
+        # The step cap is one dimension of the run budget; an explicit
+        # budget adds fact/wall-clock bounds and cancellation on top.
+        self.budget = budget if budget is not None else Budget()
         self.engine = engine
         self.check_exhaustive = check_exhaustive
         self.instance = database.copy() if copy_database else database
@@ -201,10 +206,17 @@ class ChaseRunner:
     def _run(self) -> ChaseResult:
         self._discover_initial()
         self._tick = self.instance.tick
+        facts_seen = len(self.instance)
+        self.budget.charge_facts(facts_seen)
         while True:
             if len(self.steps) >= self.max_steps:
                 return ChaseResult(
                     ChaseStatus.EXCEEDED, self.instance, self.steps, self.variant
+                )
+            if not self.budget.charge():
+                return ChaseResult(
+                    ChaseStatus.EXCEEDED, self.instance, self.steps, self.variant,
+                    exhausted=self.budget.exhausted,
                 )
             trigger = self._next_applicable()
             if trigger is None:
@@ -222,6 +234,9 @@ class ChaseRunner:
             if outcome.gamma is not None:
                 self._apply_gamma(outcome.gamma)
             self._discover_delta()
+            if len(self.instance) > facts_seen:
+                self.budget.charge_facts(len(self.instance) - facts_seen)
+                facts_seen = len(self.instance)
 
     def _next_applicable(self) -> Trigger | None:
         """Pop pending triggers per strategy until one is applicable.
@@ -260,6 +275,7 @@ def run_chase(
     strategy: Strategy | str = "fifo",
     max_steps: int = 10_000,
     engine: str | None = None,
+    budget: Budget | None = None,
 ) -> ChaseResult:
     """Run one chase sequence of ``database`` with ``sigma``.
 
@@ -267,8 +283,12 @@ def run_chase(
     ``strategy`` resolves the nondeterministic choice among applicable
     steps; ``engine`` selects the matching backend (``indexed`` or the
     ``naive`` reference), or inherits the ambient backend when None —
-    ``using_backend("naive")`` around this call is honoured.  The input
-    database is not modified.
+    ``using_backend("naive")`` around this call is honoured.  ``budget``
+    adds fact/wall-clock bounds and cancellation on top of ``max_steps``;
+    exhaustion yields ``EXCEEDED`` with ``result.exhausted`` set.  The
+    input database is not modified.
     """
-    runner = ChaseRunner(database, sigma, variant, strategy, max_steps, engine=engine)
+    runner = ChaseRunner(
+        database, sigma, variant, strategy, max_steps, engine=engine, budget=budget
+    )
     return runner.run()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..budget import Budget, BudgetExhausted
 from ..homomorphism.finder import find_homomorphisms
 from ..matching import body_atom_index, delta_homomorphisms
 from ..model.atoms import Atom
@@ -136,6 +137,8 @@ class SaturationResult:
     saturated: bool
     cyclic_term: SkolemTerm | None
     rounds: int
+    #: The budget dimension that stopped a non-saturating run, if any.
+    exhausted: BudgetExhausted | None = None
 
     @property
     def alarmed(self) -> bool:
@@ -148,6 +151,7 @@ def saturate(
     stop_on_cyclic: bool = True,
     max_facts: int = 200_000,
     max_rounds: int = 10_000,
+    budget: Budget | None = None,
 ) -> SaturationResult:
     """Run the Skolem-chase fixpoint, semi-naively.
 
@@ -159,13 +163,18 @@ def saturate(
     exactly the facts the naive fixpoint would — same rounds, same result.
 
     Stops early when a cyclic term is produced (MFA's alarm) if
-    ``stop_on_cyclic``; gives up (``saturated=False``) past the budgets.
+    ``stop_on_cyclic``; gives up (``saturated=False``) past the
+    ``max_facts``/``max_rounds`` caps or when the ``budget`` — which adds
+    wall-clock bounds and cancellation, and is charged one step per derived
+    fact — exhausts mid-round.
     """
+    budget = budget if budget is not None else Budget()
     instance = database.copy()
     rules = list(rules)
     body_index = body_atom_index((rule, rule.source.body) for rule in rules)
     rounds = 0
     tick = instance.tick
+    budget.charge_facts(len(instance))
     while rounds < max_rounds:
         rounds += 1
         if rounds == 1:
@@ -181,6 +190,10 @@ def saturate(
         new_facts: list[Atom] = []
         pending: set[Atom] = set()
         for rule, h in homs:
+            if not budget.charge():
+                return SaturationResult(
+                    instance, False, None, rounds, budget.exhausted
+                )
             for fact in rule.head_facts(h):
                 if fact in instance or fact in pending:
                     continue
@@ -197,6 +210,8 @@ def saturate(
         added = instance.add_all(new_facts)
         if added == 0:
             return SaturationResult(instance, True, None, rounds)
+        if not budget.charge_facts(added):
+            return SaturationResult(instance, False, None, rounds, budget.exhausted)
         if len(instance) > max_facts:
             return SaturationResult(instance, False, None, rounds)
     return SaturationResult(instance, False, None, rounds)

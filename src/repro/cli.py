@@ -47,12 +47,27 @@ def _load_facts(spec: str) -> Instance:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
-    """Run the criterion portfolio; exit 0 iff some criterion accepts."""
+    """Run the criterion portfolio.
+
+    Exit codes mirror ``repro chase``: 0 — some criterion accepts;
+    1 — every criterion rejects with its analysis complete; 2 — no
+    acceptance and some criterion exhausted its budget, so the rejection
+    cannot be trusted.
+    """
     sigma = _load_sigma(args.file)
     criteria = args.criteria.split(",") if args.criteria else None
-    report = classify(sigma, criteria=criteria)
+    report = classify(
+        sigma,
+        criteria=criteria,
+        jobs=args.jobs,
+        budget_steps=args.budget_steps,
+        budget_ms=args.budget_ms,
+        short_circuit=args.short_circuit,
+    )
     print(report)
-    return 0 if report.guarantees_exists else 1
+    if report.guarantees_exists:
+        return 0
+    return 2 if report.any_exhausted else 1
 
 
 def cmd_chase(args: argparse.Namespace) -> int:
@@ -77,9 +92,12 @@ def cmd_adorn(args: argparse.Namespace) -> int:
     """Run Adn∃; exit 0 iff Acyc is true."""
     sigma = _load_sigma(args.file)
     result = adn_exists(sigma)
+    approx = ""
+    if not result.exact:
+        approx = f"   ~approximate ({result.stats['stopped']})"
     print(f"Acyc = {result.acyclic}   |Σ| = {len(sigma)}   "
           f"|Σµ| = {result.stats['size_adorned']}   "
-          f"({result.stats['elapsed_ms']:.1f} ms)")
+          f"({result.stats['elapsed_ms']:.1f} ms){approx}")
     print("\nadorned dependencies:")
     for rec in result.records:
         marker = "·" if rec.is_bridge else "+"
@@ -134,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="run the termination criteria portfolio")
     p.add_argument("file")
     p.add_argument("--criteria", help="comma-separated subset, e.g. WA,SAC")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run criteria concurrently on N threads (default 1)")
+    p.add_argument("--budget-steps", type=int, default=None, metavar="N",
+                   help="per-criterion work budget in abstract steps; "
+                        "exhaustion is reported, never an error")
+    p.add_argument("--budget-ms", type=float, default=None, metavar="MS",
+                   help="per-criterion wall-clock budget in milliseconds")
+    p.add_argument("--short-circuit", action="store_true",
+                   help="cancel criteria that can no longer change the "
+                        "overall verdict (cheap static criteria usually "
+                        "decide it first)")
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("chase", help="run one chase sequence")

@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence, Union
 
+from ..budget import Budget, BudgetExhausted, coerce_budget
 from ..firing.relations import FiringOracle
 from ..homomorphism.finder import find_homomorphisms
 from ..model.atoms import Atom
@@ -200,13 +201,22 @@ def strip_adornments_instance(instance: Instance) -> Instance:
 
 @dataclass
 class AdnResult:
-    """``Adn∃(Σ) = ⟨Σµ, Acyc⟩`` plus diagnostics."""
+    """``Adn∃(Σ) = ⟨Σµ, Acyc⟩`` plus diagnostics.
+
+    ``exact=False`` means the saturation was cut short — by the resource
+    budget, by the livelock detector, or by the symbol/record caps — and
+    ``acyclic=False`` is then the conservative verdict, not the
+    algorithm's fixpoint answer.  ``exhausted`` records which budget
+    dimension blew (None when a livelock or cap stopped the run; the
+    ``stats["stopped"]`` entry distinguishes those).
+    """
 
     adorned: DependencySet
     acyclic: bool
     definitions: list[AdornmentDefinition]
     records: list[AdornedRecord] = field(default_factory=list)
     exact: bool = True
+    exhausted: BudgetExhausted | None = None
     stats: dict = field(default_factory=dict)
 
     def __iter__(self):  # unpack like the paper's pair
@@ -219,9 +229,34 @@ class AdnResult:
 
 # -- the algorithm ------------------------------------------------------------------
 
+#: Default per-run budget: total step charges (driver iterations, candidate
+#: bodies, Dµ homomorphisms, witness-engine work funded through the
+#: oracles) and a wall-clock backstop for divergence shapes no counter
+#: anticipates.  The livelock detector usually fires long before either.
+DEFAULT_ADN_STEPS = 5_000_000
+DEFAULT_ADN_MS = 10_000.0
+
 
 class AdornmentAlgorithm:
-    """One run of Adn∃ (or the AC rewriting when ``mode="ac"``)."""
+    """One run of Adn∃ (or the AC rewriting when ``mode="ac"``).
+
+    Saturation is bounded three ways, every one of them a graceful
+    verdict (``exact=False``), never a hang:
+
+    * a **livelock detector**: the driver state (records + definitions)
+      is fingerprinted each iteration with free symbols canonically
+      renumbered; since the driver is deterministic and all its decisions
+      are invariant under monotone renamings of the free symbols, a
+      repeated fingerprint proves the run cycles forever (the historical
+      `adn_exists` divergence: an EGD chase step keeps merging away the
+      symbols the adornment step keeps re-minting, so the state repeats
+      up to ever-growing symbol numbers and no size cap ever fires);
+    * a :class:`~repro.budget.Budget` (steps + wall clock, linked to the
+      ambient analysis budget) charged in the driver loop, the candidate
+      body enumeration, the Dµ EGD chase step and — through the firing
+      oracles — the witness engine;
+    * the legacy ``max_records``/``max_symbol`` size caps.
+    """
 
     def __init__(
         self,
@@ -230,6 +265,7 @@ class AdornmentAlgorithm:
         firing_budget: int = 60_000,
         max_records: int | None = None,
         max_symbol: int = 5_000,
+        budget: Budget | None = None,
     ) -> None:
         if mode not in ("adn_exists", "ac"):
             raise ValueError(f"unknown adornment mode {mode!r}")
@@ -241,26 +277,59 @@ class AdornmentAlgorithm:
         self.definitions: list[AdornmentDefinition] = []
         self.acyclic = True
         self.exact = True
+        self.stopped: str | None = None  # "livelock" | "max_symbol" | ...
         self.max_records = max_records or max(2_000, 60 * max(len(sigma), 1))
         self.max_symbol = max_symbol
+        if budget is None:
+            budget = coerce_budget(None)  # fresh, linked to the ambient scope
+            budget.max_steps = DEFAULT_ADN_STEPS
+            budget.max_ms = DEFAULT_ADN_MS
+        self.budget = budget
         # Oracle over Σµ (fireability of adorned dependencies).
         self._mu_oracle = FiringOracle((), budget=firing_budget)
         # Oracle over Σ (firing chains for Ω(AD) cyclicity).
         self._sigma_oracle = FiringOracle(sigma, budget=firing_budget)
         self._chain_cache: dict[tuple, bool] = {}
+        self._src_index = {d: i for i, d in enumerate(sigma)}
+        self._charge_backlog = 0
 
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> AdnResult:
+        from ..budget import budget_scope
+
+        with budget_scope(self.budget):
+            return self._run()
+
+    def _run(self) -> AdnResult:
         start = time.perf_counter()
         self._init_bridges()
         iterations = 0
+        seen_states: set[tuple] = set()
+        seen_counts: set[tuple[int, int]] = set()
         while True:
             iterations += 1
-            if len(self.records) > self.max_records:
-                self.acyclic = False
-                self.exact = False
+            if not self.budget.charge():
+                self.stopped = "budget"
                 break
+            if self.stopped is not None:  # set mid-iteration (max_symbol)
+                break
+            if len(self.records) > self.max_records:
+                self.stopped = "max_records"
+                break
+            # Livelock check, gated on a repeated count signature: a
+            # cycling run revisits the same (records, definitions) sizes
+            # forever, while a growing run almost never does — so the
+            # O(|records|) fingerprint stays off the common path.
+            counts = (len(self.records), len(self.definitions))
+            if counts in seen_counts:
+                state = self._state_fingerprint()
+                if state in seen_states:
+                    self.stopped = "livelock"
+                    break
+                seen_states.add(state)
+            else:
+                seen_counts.add(counts)
             added = self._adorn_one(self.sigma.full)
             if added is not None:
                 rec, _ = added
@@ -273,7 +342,15 @@ class AdornmentAlgorithm:
                 rec, _ = added
                 self._merge_step(self._current_version(rec))
                 continue
+            if not self.budget.ok:
+                # The enumeration was cut short, not genuinely drained.
+                self.stopped = "budget"
             break
+        if self.stopped is not None:
+            # Every stop is a truncated saturation: the conservative verdict
+            # is "potentially non-terminating", flagged approximate.
+            self.acyclic = False
+            self.exact = False
         elapsed = (time.perf_counter() - start) * 1000.0
         deps = DependencySet(r.dep for r in self.records)
         return AdnResult(
@@ -282,14 +359,85 @@ class AdornmentAlgorithm:
             definitions=list(self.definitions),
             records=list(self.records),
             exact=self.exact,
+            exhausted=self.budget.exhausted,
             stats={
                 "iterations": iterations,
                 "size_sigma": len(self.sigma),
                 "size_adorned": len(deps),
                 "elapsed_ms": elapsed,
                 "mode": self.mode,
+                "stopped": self.stopped,
+                "budget_steps": self.budget.steps,
             },
         )
+
+    def _charge_batched(self, n: int = 1) -> bool:
+        """Budget charge for the hot enumeration loops.
+
+        ``Budget.charge`` walks the parent chain on every call, which the
+        Table 2(b) bench showed costing double-digit percent when done
+        per candidate body / per Dµ homomorphism.  Work is accumulated
+        locally and flushed every 32 units; between flushes the cheap
+        ``exact`` flag still stops the loop promptly once the budget is
+        known-blown.
+        """
+        self._charge_backlog += n
+        if self._charge_backlog < 32:
+            return self.budget.exact
+        pending, self._charge_backlog = self._charge_backlog, 0
+        return self.budget.charge(pending)
+
+    # -- livelock detection ----------------------------------------------------
+
+    def _state_fingerprint(self) -> tuple:
+        """The driver state with free symbols canonically renumbered.
+
+        The renumbering maps the sorted distinct symbols to ``1..n`` —
+        a *monotone* bijection, so every order-sensitive driver decision
+        (adornment pools sort by symbol value) behaves identically on the
+        renumbered state.  The driver being deterministic, a repeated
+        fingerprint therefore proves the run will repeat it forever.
+
+        A record is keyed by its source plus ``(base predicate, renamed
+        adornment)`` per atom — that determines the adorned dependency
+        (its atom arguments come verbatim from the source), and the base
+        names keep the per-predicate bridges (which all share
+        ``src=None``) apart.  The fingerprint is pure tuples: this runs
+        every driver iteration, so it must not build dependency objects.
+        """
+        syms: set[int] = set()
+        rec_atoms: list[tuple[int, list[tuple[str, Adornment]]]] = []
+        for rec in self.records:
+            atoms: tuple[Atom, ...] = rec.dep.body
+            if isinstance(rec.dep, TGD):
+                atoms = atoms + rec.dep.head
+            decoded_atoms = []
+            for a in atoms:
+                decoded = decode_predicate(a.predicate)
+                if decoded is None:
+                    decoded_atoms.append((a.predicate, ()))
+                    continue
+                decoded_atoms.append(decoded)
+                syms.update(s for s in decoded[1] if isinstance(s, int))
+            src = -1 if rec.src is None else self._src_index[rec.src]
+            rec_atoms.append((src, decoded_atoms))
+        for d in self.definitions:
+            syms.add(d.symbol)
+            syms.update(a for a in d.args if isinstance(a, int))
+        ren = {s: i + 1 for i, s in enumerate(sorted(syms))}
+
+        def renamed(adn: Adornment) -> tuple:
+            return tuple(ren[s] if isinstance(s, int) else s for s in adn)
+
+        recs = tuple(
+            (src, tuple((base, renamed(adn)) for base, adn in decoded_atoms))
+            for src, decoded_atoms in rec_atoms
+        )
+        defs = tuple(
+            (ren[d.symbol], self._src_index[d.rule], d.z.name, renamed(d.args))
+            for d in self.definitions
+        )
+        return (self.acyclic, recs, defs)
 
     # -- line 2: bridge dependencies -----------------------------------------------
 
@@ -387,6 +535,8 @@ class AdornmentAlgorithm:
                 return
             atom = atoms[idx]
             for adn in pool.get(atom.predicate, []):
+                if not self._charge_batched():
+                    return  # run() reports the truncation
                 new_binding = dict(binding)
                 ok = True
                 for t, s in zip(atom.args, adn):
@@ -472,8 +622,7 @@ class AdornmentAlgorithm:
                         default=highest,
                     )
         if highest + 1 > self.max_symbol:
-            self.acyclic = False
-            self.exact = False
+            self.stopped = "max_symbol"  # run() breaks at the next iteration
         return highest + 1
 
     def _build_adorned(
@@ -520,6 +669,8 @@ class AdornmentAlgorithm:
         body = [self._constants_to_b(a) for a in egd.body]
         best: tuple | None = None
         for h in find_homomorphisms(body, d_mu, limit=None):
+            if not self._charge_batched():
+                break  # apply the best substitution found so far, if any
             t1, t2 = h[egd.lhs], h[egd.rhs]
             if t1 is t2:
                 continue

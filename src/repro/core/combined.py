@@ -38,15 +38,18 @@ class AdnCombined(TerminationCriterion):
     def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
         result = adn_exists(sigma, **self._adn_kwargs)
         self.last_result = result
-        inner_result = self.inner.check(result.adorned)
-        details = {
+        details: dict = {
             "size_adorned": result.stats["size_adorned"],
             "adn_exact": result.exact,
-            "inner": inner_result.criterion,
-            "inner_accepted": inner_result.accepted,
         }
-        exact = result.exact and inner_result.exact
-        return inner_result.accepted, exact, details
+        if not result.exact:
+            # Σµ is a truncation (budget/livelock stop): C accepting the
+            # truncated set proves nothing about Σ — reject, approximate.
+            return False, False, details
+        inner_result = self.inner.check(result.adorned)
+        details["inner"] = inner_result.criterion
+        details["inner_accepted"] = inner_result.accepted
+        return inner_result.accepted, inner_result.exact, details
 
 
 def adn_combined_check(

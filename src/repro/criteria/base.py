@@ -20,6 +20,7 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from ..budget import Budget, BudgetExhausted, budget_scope
 from ..model.dependencies import DependencySet
 
 
@@ -32,7 +33,15 @@ class Guarantee(enum.Enum):
 
 @dataclass
 class CriterionResult:
-    """Outcome of running one termination criterion."""
+    """Outcome of running one termination criterion.
+
+    ``exact=False`` flags any approximation — internal enumeration caps
+    as well as budget exhaustion.  ``exhausted`` is set precisely when a
+    resource budget cut the run short, recording the blown dimension; a
+    rejection with ``exhausted`` set says nothing about Σ and the
+    portfolio surfaces it (exit code 2) rather than presenting it as a
+    trusted rejection.
+    """
 
     criterion: str
     accepted: bool
@@ -40,6 +49,13 @@ class CriterionResult:
     exact: bool = True
     elapsed_ms: float = 0.0
     details: dict = field(default_factory=dict)
+    exhausted: BudgetExhausted | None = None
+
+    @property
+    def skipped(self) -> bool:
+        """True when the portfolio never ran (or cut short) this criterion
+        because the overall verdict was already decided."""
+        return bool(self.details.get("short_circuited"))
 
     def __bool__(self) -> bool:
         return self.accepted
@@ -47,7 +63,8 @@ class CriterionResult:
     def __str__(self) -> str:
         verdict = "accepted" if self.accepted else "rejected"
         approx = "" if self.exact else " (approximate)"
-        return f"{self.criterion}: {verdict}{approx} [{self.elapsed_ms:.1f} ms]"
+        budget = f" (budget: {self.exhausted})" if self.exhausted else ""
+        return f"{self.criterion}: {verdict}{approx}{budget} [{self.elapsed_ms:.1f} ms]"
 
 
 class TerminationCriterion(ABC):
@@ -58,17 +75,35 @@ class TerminationCriterion(ABC):
     #: Which termination class acceptance guarantees.
     guarantee: Guarantee = Guarantee.CT_ALL
 
-    def check(self, sigma: DependencySet) -> CriterionResult:
+    def check(
+        self, sigma: DependencySet, budget: Budget | None = None
+    ) -> CriterionResult:
+        """Run the criterion, optionally under a resource budget.
+
+        The budget is installed as the ambient budget for the call, so
+        every bounded consumer underneath (firing oracles, the adornment
+        algorithm, Skolem saturation) links its local budgets to it.  A
+        blown budget surfaces as ``exact=False`` plus ``exhausted`` —
+        never as an exception.
+        """
         start = time.perf_counter()
-        accepted, exact, details = self._accepts(sigma)
+        if budget is None:
+            # Leave any enclosing ambient scope in force — installing
+            # None here would disconnect nested analyses from it.
+            accepted, exact, details = self._accepts(sigma)
+        else:
+            with budget_scope(budget):
+                accepted, exact, details = self._accepts(sigma)
         elapsed = (time.perf_counter() - start) * 1000.0
+        exhausted = budget.exhausted if budget is not None else None
         return CriterionResult(
             criterion=self.name,
             accepted=accepted,
             guarantee=self.guarantee,
-            exact=exact,
+            exact=exact and exhausted is None,
             elapsed_ms=elapsed,
             details=details,
+            exhausted=exhausted,
         )
 
     def accepts(self, sigma: DependencySet) -> bool:

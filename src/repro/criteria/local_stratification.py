@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..model.dependencies import DependencySet
 from .base import Guarantee, TerminationCriterion, register
-from .stratification import is_c_stratified
+from .stratification import c_stratified_exact
 
 
 def is_locally_stratified(sigma: DependencySet) -> tuple[bool, bool]:
@@ -33,6 +33,10 @@ def is_locally_stratified(sigma: DependencySet) -> tuple[bool, bool]:
     if rewritten.acyclic:
         # No cyclic adornment at all: already terminating per AC.
         return True, rewritten.exact
+    if not rewritten.exact:
+        # The rewriting was truncated (budget/livelock): Σα is incomplete
+        # and c-stratifying a truncation proves nothing — reject.
+        return False, False
     # Keep the adorned dependencies (bridges excluded — they are artifacts
     # of the rewriting, not part of the analysed program).
     adorned = DependencySet(
@@ -40,7 +44,8 @@ def is_locally_stratified(sigma: DependencySet) -> tuple[bool, bool]:
     )
     if not len(adorned):
         return True, rewritten.exact
-    return is_c_stratified(adorned), rewritten.exact
+    accepted, cstr_exact = c_stratified_exact(adorned)
+    return accepted, rewritten.exact and cstr_exact
 
 
 @register

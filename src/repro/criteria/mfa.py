@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import networkx as nx
 
+from ..budget import Budget, coerce_budget
 from ..chase.skolem import (
     SkolemTerm,
     critical_instance,
@@ -47,15 +48,20 @@ def _tgd_only(sigma: DependencySet) -> tuple[DependencySet, bool]:
 
 
 def is_mfa(
-    sigma: DependencySet, max_facts: int = 100_000, max_rounds: int = 500
+    sigma: DependencySet,
+    max_facts: int = 100_000,
+    max_rounds: int = 500,
+    budget: Budget | None = None,
 ) -> tuple[bool, bool]:
     """(accepted, exact) — exact is False when budgets cut the run short."""
     if sigma.egds:
         raise ValueError("MFA is defined for TGDs only; simulate EGDs first")
+    budget = coerce_budget(budget)  # links the ambient analysis budget
     rules = skolemise(sigma, variant="semi_oblivious")
     base = critical_instance(sigma)
     result = saturate(
-        base, rules, stop_on_cyclic=True, max_facts=max_facts, max_rounds=max_rounds
+        base, rules, stop_on_cyclic=True, max_facts=max_facts,
+        max_rounds=max_rounds, budget=budget,
     )
     if result.alarmed:
         return False, True
@@ -65,11 +71,14 @@ def is_mfa(
 
 
 def is_msa(
-    sigma: DependencySet, max_rounds: int = 2_000
+    sigma: DependencySet,
+    max_rounds: int = 2_000,
+    budget: Budget | None = None,
 ) -> tuple[bool, bool]:
     """(accepted, exact) — MSA via the summarised Skolem chase."""
     if sigma.egds:
         raise ValueError("MSA is defined for TGDs only; simulate EGDs first")
+    budget = coerce_budget(budget)
     rules = skolemise(sigma, variant="semi_oblivious")
     instance = critical_instance(sigma)
     summary_const = {
@@ -102,6 +111,8 @@ def is_msa(
             )
         new_facts: list[Atom] = []
         for rule, h in homs:
+            if not budget.charge():
+                return False, False  # budget exhausted mid-round
             mapping: dict[Term, Term] = {
                 v: h[v] for v in rule.source.body_variables()
             }

@@ -31,6 +31,7 @@ from itertools import islice
 import networkx as nx
 
 from ..firing.graphs import oblivious_chase_graph
+from ..firing.relations import FiringOracle
 from ..model.dependencies import AnyDependency, DependencySet
 from .base import Guarantee, TerminationCriterion, register
 from .safety import affected_positions, is_safe
@@ -82,9 +83,18 @@ def _cycles_safe(sigma: DependencySet, graph: nx.DiGraph) -> tuple[bool, bool]:
 
 
 def is_safely_restricted(sigma: DependencySet) -> tuple[bool, bool]:
-    """(accepted, exact) for SR."""
-    graph = _null_propagating_subgraph(sigma, oblivious_chase_graph(sigma))
-    return _cycles_safe(sigma, graph)
+    """(accepted, exact) for SR.
+
+    ``exact`` also reflects the firing oracle: a precedence edge decided
+    on a blown witness budget is an over-approximation, so the verdict is
+    flagged approximate rather than silently trusted.
+    """
+    oracle = FiringOracle(sigma, step_variant="oblivious")
+    graph = _null_propagating_subgraph(
+        sigma, oblivious_chase_graph(sigma, oracle=oracle)
+    )
+    accepted, exact = _cycles_safe(sigma, graph)
+    return accepted, exact and not oracle.ever_inexact
 
 
 def _ir_component(
@@ -102,10 +112,12 @@ def _ir_component(
         component = sigma.restricted_to(scc)
         if len(component) == len(sigma):
             return False, exact  # no progress possible
+        sub_oracle = FiringOracle(component, step_variant="oblivious")
         sub_graph = _null_propagating_subgraph(
-            component, oblivious_chase_graph(component)
+            component, oblivious_chase_graph(component, oracle=sub_oracle)
         )
         ok, sub_exact = _ir_component(component, sub_graph, depth + 1)
+        exact = exact and not sub_oracle.ever_inexact
         exact = exact and sub_exact
         if not ok:
             return False, exact
@@ -113,9 +125,13 @@ def _ir_component(
 
 
 def is_inductively_restricted(sigma: DependencySet) -> tuple[bool, bool]:
-    """(accepted, exact) for IR."""
-    graph = _null_propagating_subgraph(sigma, oblivious_chase_graph(sigma))
-    return _ir_component(sigma, graph, 0)
+    """(accepted, exact) for IR (oracle inexactness included, as in SR)."""
+    oracle = FiringOracle(sigma, step_variant="oblivious")
+    graph = _null_propagating_subgraph(
+        sigma, oblivious_chase_graph(sigma, oracle=oracle)
+    )
+    accepted, exact = _ir_component(sigma, graph, 0)
+    return accepted, exact and not oracle.ever_inexact
 
 
 @register

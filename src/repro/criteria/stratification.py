@@ -56,11 +56,18 @@ def is_stratified(sigma: DependencySet) -> bool:
     return ok
 
 
+def c_stratified_exact(sigma: DependencySet) -> tuple[bool, bool]:
+    """(accepted, exact) for CStr — exact also covers the firing oracle,
+    so an edge decided on a blown witness budget flags the verdict."""
+    oracle = FiringOracle(sigma, step_variant="oblivious")
+    graph = oblivious_chase_graph(sigma, oracle=oracle)
+    ok, exact = _cycles_weakly_acyclic(sigma, graph)
+    return ok, exact and not oracle.ever_inexact
+
+
 def is_c_stratified(sigma: DependencySet) -> bool:
     """CStr: Str over the oblivious-step chase graph."""
-    graph = oblivious_chase_graph(sigma)
-    ok, _ = _cycles_weakly_acyclic(sigma, graph)
-    return ok
+    return c_stratified_exact(sigma)[0]
 
 
 @register

@@ -7,7 +7,7 @@ from .graphs import (
     oblivious_chase_graph,
     render_graph,
 )
-from .relations import FiringOracle
+from .relations import FiringOracle, shared_firing_cache
 from .witness import (
     DEFAULT_BUDGET,
     FiringDecision,
@@ -24,6 +24,7 @@ __all__ = [
     "oblivious_chase_graph",
     "render_graph",
     "FiringOracle",
+    "shared_firing_cache",
     "DEFAULT_BUDGET",
     "FiringDecision",
     "Witness",

@@ -6,14 +6,66 @@ decisions.  The ≺ decision depends only on the pair; the < decision also
 depends on the set of full dependencies (condition (iv)), so its cache is
 keyed accordingly — the adornment algorithm re-queries the oracle as its
 adorned set grows.
+
+Each pair decision runs under a fresh step budget of ``self.budget``
+steps; fresh budgets are linked to the ambient budget of the enclosing
+analysis scope (see :mod:`repro.budget`), so a criterion-level deadline
+or cancellation stops the oracle mid-pair with a sound, inexact answer.
+
+Several criteria interrogate the same pairs of the same Σ (Str and S-Str
+share the standard-step relation; CStr, SR and IR all rebuild the
+oblivious-step chase graph).  A *shared decision cache* — installed for a
+dynamic scope with :func:`shared_firing_cache`, as the classification
+portfolio does — lets every oracle in the scope reuse decisions across
+criteria.  Only deterministic decisions enter the shared cache: a
+decision truncated by a wall-clock deadline or a cancellation is kept out
+so one criterion's exhaustion can never leak approximation into another
+criterion's verdict.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator, Sequence
 
+from ..budget import coerce_budget
 from ..model.dependencies import AnyDependency, DependencySet
 from .witness import DEFAULT_BUDGET, FiringDecision, WitnessEngine
+
+_SHARED_CACHE: ContextVar[dict | None] = ContextVar(
+    "repro_shared_firing_cache", default=None
+)
+
+
+@contextmanager
+def shared_firing_cache(cache: dict | None = None) -> Iterator[dict]:
+    """Install a decision cache shared by every oracle in the scope."""
+    cache = {} if cache is None else cache
+    token = _SHARED_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _SHARED_CACHE.reset(token)
+
+
+def _deterministic(decision: FiringDecision, engine: WitnessEngine) -> bool:
+    """Safe for the shared cache: decided by the pair alone.
+
+    A decision is reproducible iff it completed, or was truncated by the
+    engine's *own* per-pair step allowance.  Truncation inherited from an
+    enclosing budget (a criterion's deadline, total-step limit or
+    cancellation) depends on how much that criterion had already spent,
+    so caching it would leak one criterion's exhaustion into another's
+    analysis.
+    """
+    exhausted = engine.budget.exhausted
+    if exhausted is None:
+        return True
+    if exhausted.dimension not in ("steps", "facts"):
+        return False
+    parent = engine.budget.parent
+    return parent is None or parent.exhausted is None
 
 
 class FiringOracle:
@@ -36,17 +88,29 @@ class FiringOracle:
     def fulls(self) -> list[AnyDependency]:
         return [d for d in self.deps if d.is_full]
 
+    def _note(self, decision: FiringDecision) -> bool:
+        if not decision.exact:
+            self.ever_inexact = True
+        return decision.edge
+
     def precedes(self, r1: AnyDependency, r2: AnyDependency) -> bool:
         """``r1 ≺ r2``."""
         key = (r1, r2)
         decision = self._precedes_cache.get(key)
         if decision is None:
-            engine = WitnessEngine(r1, r2, (), self.step_variant, self.budget)
-            decision = engine.precedes()
+            shared = _SHARED_CACHE.get()
+            shared_key = ("precedes", r1, r2, self.step_variant, self.budget)
+            decision = shared.get(shared_key) if shared is not None else None
+            if decision is None:
+                engine = WitnessEngine(
+                    r1, r2, (), self.step_variant,
+                    coerce_budget(self.budget),
+                )
+                decision = engine.precedes()
+                if shared is not None and _deterministic(decision, engine):
+                    shared[shared_key] = decision
             self._precedes_cache[key] = decision
-        if not decision.exact:
-            self.ever_inexact = True
-        return decision.edge
+        return self._note(decision)
 
     def fires(
         self,
@@ -59,12 +123,21 @@ class FiringOracle:
         key = (r1, r2, frozenset(fulls))
         decision = self._fires_cache.get(key)
         if decision is None:
-            engine = WitnessEngine(r1, r2, fulls, self.step_variant, self.budget)
-            decision = engine.fires()
+            shared = _SHARED_CACHE.get()
+            shared_key = (
+                "fires", r1, r2, frozenset(fulls), self.step_variant, self.budget,
+            )
+            decision = shared.get(shared_key) if shared is not None else None
+            if decision is None:
+                engine = WitnessEngine(
+                    r1, r2, fulls, self.step_variant,
+                    coerce_budget(self.budget),
+                )
+                decision = engine.fires()
+                if shared is not None and _deterministic(decision, engine):
+                    shared[shared_key] = decision
             self._fires_cache[key] = decision
-        if not decision.exact:
-            self.ever_inexact = True
-        return decision.edge
+        return self._note(decision)
 
     def fireable(
         self,

@@ -36,7 +36,12 @@ finite, hence terminating).
 
 When the enumeration budget is exhausted the engine answers ``True`` with
 ``exact=False``: firing edges are consumed negatively by every criterion,
-so over-approximating keeps the criteria sound.
+so over-approximating keeps the criteria sound.  Budgets come from
+:mod:`repro.budget`: an ``int`` budget is a per-pair step allowance (the
+historical convention), a :class:`~repro.budget.Budget` is used as-is,
+and fresh budgets are linked to the ambient one of the enclosing
+analysis scope, so a criterion-level deadline or cancellation cuts the
+witness search off mid-pair.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from ..budget import Budget, coerce_budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import satisfies_instantiated
 from ..model.atoms import Atom
@@ -58,20 +64,6 @@ MAX_PARTITION_VARS = 7       # full partition enumeration up to Bell(7)=877
 MAX_LABEL_CLASSES = 6        # label (null/const) enumeration up to 2^6
 MAX_PREIMAGE_POSITIONS = 3   # per-atom preimage pattern enumeration
 DEFAULT_BUDGET = 200_000     # unification/instance-check budget per pair
-
-
-class _Budget:
-    __slots__ = ("remaining", "blown")
-
-    def __init__(self, amount: int) -> None:
-        self.remaining = amount
-        self.blown = False
-
-    def charge(self, n: int = 1) -> bool:
-        self.remaining -= n
-        if self.remaining < 0:
-            self.blown = True
-        return not self.blown
 
 
 @dataclass
@@ -161,7 +153,7 @@ class WitnessEngine:
         r2: AnyDependency,
         fulls: Sequence[AnyDependency] = (),
         step_variant: str = "standard",
-        budget: int = DEFAULT_BUDGET,
+        budget: Budget | int = DEFAULT_BUDGET,
     ) -> None:
         # Rename apart so self-loops and shared variable names are safe.
         self.r1 = r1.rename_variables("1")
@@ -170,7 +162,7 @@ class WitnessEngine:
         self.orig_r2 = r2
         self.fulls = [d.rename_variables(f"f{i}") for i, d in enumerate(fulls)]
         self.step_variant = step_variant
-        self.budget = _Budget(budget)
+        self.budget = coerce_budget(budget, default_steps=DEFAULT_BUDGET)
 
     # -- public API ------------------------------------------------------
 
@@ -192,7 +184,7 @@ class WitnessEngine:
         for witness, died_by_defusal in self._search(check_defusal):
             if witness is not None:
                 return FiringDecision(True, True, witness)
-        if self.budget.blown:
+        if not self.budget.exact:
             return FiringDecision(True, False)
         if self._hit_partition_limit:
             inexact = True
@@ -567,7 +559,7 @@ def decide_precedes(
     r1: AnyDependency,
     r2: AnyDependency,
     step_variant: str = "standard",
-    budget: int = DEFAULT_BUDGET,
+    budget: Budget | int = DEFAULT_BUDGET,
 ) -> FiringDecision:
     """Decide ``r1 ≺ r2`` (chase-graph edge)."""
     return WitnessEngine(r1, r2, (), step_variant, budget).precedes()
@@ -578,7 +570,7 @@ def decide_fires(
     r2: AnyDependency,
     fulls: Iterable[AnyDependency],
     step_variant: str = "standard",
-    budget: int = DEFAULT_BUDGET,
+    budget: Budget | int = DEFAULT_BUDGET,
 ) -> FiringDecision:
     """Decide ``r1 < r2`` (firing-graph edge) w.r.t. the full dependencies."""
     return WitnessEngine(r1, r2, tuple(fulls), step_variant, budget).fires()

@@ -1,0 +1,44 @@
+"""Tier-1 suite fixtures: the per-test timeout guard.
+
+Every potentially unbounded analysis in the library now runs under a
+resource budget (see repro.budget and DESIGN.md §2), so no test *should*
+be able to hang.  This guard turns "should" into "does": any future
+unbounded loop fails its test fast with a clear message instead of
+wedging CI until the runner-level kill.
+
+SIGALRM-based (main thread only, POSIX only — it degrades to a no-op
+where unavailable, and the CI job's ``timeout-minutes`` stays the outer
+backstop).  Override per run with ``REPRO_TEST_TIMEOUT`` seconds; 0
+disables.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    if TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {TIMEOUT_S:.0f}s timeout guard — an "
+            f"analysis loop is likely missing a budget check",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,115 @@
+"""Regression tests for the historical `adn_exists` divergence.
+
+Seeds 36, 43 and 166 of ``random_dependency_set(n_deps=3,
+egd_fraction=0.3)`` drove the adornment saturation into a livelock: each
+driver round the EGD chase step over Dµ merged away the very symbols the
+adornment step had just minted, so the state repeated forever *up to
+ever-growing symbol numbers* — the record count never grew past the
+``max_records`` cap and the ``max_symbol`` cap, once hit, flipped flags
+without stopping the loop.  (Found by sweeping seeds 0–499 with a 5s
+alarm; these three are the only divergent ones in that range.)
+
+The fix is layered and these tests pin each layer:
+
+* the livelock detector fingerprints the driver state with free symbols
+  canonically renumbered and stops on the first repeat — it catches all
+  three seeds within a handful of iterations;
+* the run budget (steps + wall clock) is a backstop for divergence
+  shapes the detector cannot see, and actually terminates the loop;
+* the outcome is a *verdict*: ``acyclic=False, exact=False`` with the
+  stop reason in ``stats`` — never an exception, never a hang.
+"""
+
+import time
+
+import pytest
+
+from repro.budget import Budget, Cancellation
+from repro.core import adn_exists, is_semi_acyclic
+from repro.core.adornment import AdornmentAlgorithm
+from repro.generators import random_dependency_set
+
+#: The divergent seeds found by the 0–499 sweep (5s alarm per seed).
+DIVERGENT_SEEDS = [36, 43, 166]
+
+
+def _divergent_sigma(seed):
+    return random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+
+
+class TestHistoricalDivergence:
+    @pytest.mark.parametrize("seed", DIVERGENT_SEEDS)
+    def test_returns_within_default_budget(self, seed):
+        """The historical hang is now a fast, explicit non-exact verdict."""
+        start = time.perf_counter()
+        result = adn_exists(_divergent_sigma(seed))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0  # the livelock detector fires in milliseconds
+        assert not result.exact
+        assert not result.acyclic  # conservative verdict, flagged approximate
+        assert result.stats["stopped"] is not None
+
+    @pytest.mark.parametrize("seed", DIVERGENT_SEEDS)
+    def test_livelock_detector_fires_before_the_budget(self, seed):
+        """All three historical seeds are livelocks: the state repeats up
+        to a monotone renaming of the free symbols, and the detector sees
+        it within a handful of driver iterations."""
+        result = adn_exists(_divergent_sigma(seed))
+        assert result.stats["stopped"] == "livelock"
+        assert result.stats["iterations"] < 50
+        assert result.exhausted is None  # detector, not budget
+
+    @pytest.mark.parametrize("seed", DIVERGENT_SEEDS)
+    def test_is_semi_acyclic_never_hangs(self, seed):
+        assert is_semi_acyclic(_divergent_sigma(seed)) is False
+
+
+class TestBudgetBackstop:
+    def test_wall_clock_budget_stops_without_cycle_check(self):
+        """With the livelock detector out of the picture (fingerprinting
+        disabled via a subclass), the budget still terminates the run."""
+
+        class NoDetector(AdornmentAlgorithm):
+            def _state_fingerprint(self):
+                NoDetector.counter += 1
+                return NoDetector.counter  # never repeats
+
+        NoDetector.counter = 0
+        algo = NoDetector(
+            _divergent_sigma(36), budget=Budget(max_ms=500)
+        )
+        start = time.perf_counter()
+        result = algo.run()
+        assert time.perf_counter() - start < 10.0
+        assert not result.exact
+        assert result.stats["stopped"] == "budget"
+        assert result.exhausted is not None
+        assert result.exhausted.dimension == "wall_ms"
+
+    def test_step_budget_stops(self):
+        algo = AdornmentAlgorithm(
+            _divergent_sigma(43), budget=Budget(max_steps=2_000)
+        )
+        result = algo.run()
+        assert not result.exact
+        assert result.stats["stopped"] in ("budget", "livelock")
+
+    def test_cancellation_stops(self):
+        token = Cancellation()
+        token.cancel()
+        algo = AdornmentAlgorithm(
+            _divergent_sigma(36), budget=Budget(cancellation=token)
+        )
+        result = algo.run()
+        assert not result.exact
+        assert result.exhausted is not None
+        assert result.exhausted.dimension == "cancelled"
+
+
+class TestConvergentRunsUnaffected:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 11, 19])
+    def test_exact_verdicts_stay_exact(self, seed):
+        result = adn_exists(_divergent_sigma(seed))
+        assert result.exact
+        assert result.stats["stopped"] is None
+        assert result.exhausted is None

@@ -2,6 +2,7 @@
 
 from repro.analysis import (
     ClassificationReport,
+    ClassifyConfig,
     chase_ground_truth,
     classify,
     evaluate_ontology,
@@ -12,7 +13,7 @@ from repro.analysis import (
 )
 from repro.criteria.base import Guarantee
 from repro.data import sigma_1, sigma_3, sigma_10, witness_cases
-from repro.generators import generate_corpus
+from repro.generators import generate_corpus, random_dependency_set
 
 
 class TestClassify:
@@ -43,6 +44,55 @@ class TestClassify:
     def test_render(self):
         text = str(classify(sigma_1(), criteria=["WA", "SAC"]))
         assert "SAC" in text and "⇒" in text
+
+
+class TestParallelPortfolio:
+    """The jobs/budgets/short-circuit portfolio added in PR 2."""
+
+    def test_jobs_report_verdict_identical(self):
+        # The full parallel portfolio must agree with the sequential path
+        # criterion by criterion, not just on the headline.
+        for seed in (0, 1, 5, 36, 43):  # includes the historical hangs
+            sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+            seq = classify(sigma)
+            par = classify(sigma, jobs=4)
+            assert list(par.results) == list(seq.results)
+            for name in seq.results:
+                assert par.results[name].accepted == seq.results[name].accepted
+                assert par.results[name].exact == seq.results[name].exact
+            assert par.verdict == seq.verdict
+
+    def test_stop_on_first_parallel(self):
+        report = classify(sigma_3(), stop_on_first=True, jobs=4)
+        accepted = [r for r in report.results.values() if r.accepted]
+        assert accepted
+
+    def test_short_circuit_preserves_headline(self):
+        for seed in range(8):
+            sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+            full = classify(sigma)
+            sc = classify(sigma, jobs=2, short_circuit=True)
+            assert sc.verdict == full.verdict, seed
+
+    def test_short_circuited_criteria_are_marked_not_exhausted(self):
+        report = classify(sigma_3(), jobs=2, short_circuit=True)
+        skipped = [r for r in report.results.values() if r.skipped]
+        assert skipped  # WA accepts CT∀ immediately; the rest are spared
+        assert not report.any_exhausted
+        assert "short-circuited" in str(report)
+
+    def test_budget_exhaustion_is_flagged(self):
+        sigma = random_dependency_set(1, n_deps=3, egd_fraction=0.3)
+        report = classify(sigma, budget_steps=20)
+        assert report.any_exhausted
+        blown = [r for r in report.results.values() if r.exhausted is not None]
+        assert blown
+        assert all(not r.exact for r in blown)
+
+    def test_config_object(self):
+        config = ClassifyConfig(criteria=["WA", "SC"], jobs=2)
+        report = classify(sigma_3(), config=config)
+        assert list(report.results) == ["WA", "SC"]
 
 
 class TestEvaluationPipeline:

@@ -1,0 +1,119 @@
+"""Unit tests for the budget/cancellation subsystem (repro.budget)."""
+
+import time
+
+from repro.budget import (
+    Budget,
+    BudgetExhausted,
+    Cancellation,
+    budget_scope,
+    coerce_budget,
+    current_budget,
+)
+
+
+class TestBudget:
+    def test_unlimited_never_exhausts(self):
+        b = Budget.unlimited()
+        for _ in range(10_000):
+            assert b.charge()
+        assert b.charge_facts(10_000)
+        assert b.ok and b.exact and b.exhausted is None
+
+    def test_step_limit_is_a_verdict_not_an_exception(self):
+        b = Budget(max_steps=5)
+        assert all(b.charge() for _ in range(5))
+        assert not b.charge()  # sixth blows; returns False, never raises
+        assert not b.ok
+        assert not b.exact
+        assert b.exhausted.dimension == "steps"
+        assert b.exhausted.limit == 5
+        # Exhaustion is permanent.
+        assert not b.charge()
+
+    def test_fact_limit(self):
+        b = Budget(max_facts=10)
+        assert b.charge_facts(10)
+        assert not b.charge_facts(1)
+        assert b.exhausted.dimension == "facts"
+
+    def test_wall_clock_limit(self):
+        b = Budget(max_ms=10)
+        time.sleep(0.05)
+        # ok forces the clock check regardless of the charge stride.
+        assert not b.ok
+        assert b.exhausted.dimension == "wall_ms"
+        assert not b.charge()
+
+    def test_cancellation_token(self):
+        token = Cancellation()
+        b = Budget(cancellation=token)
+        assert b.ok
+        token.cancel()
+        assert not b.ok
+        assert b.exhausted.dimension == "cancelled"
+
+    def test_cancellation_shared_between_budgets(self):
+        token = Cancellation()
+        budgets = [Budget(cancellation=token) for _ in range(3)]
+        token.cancel()
+        assert all(not b.ok for b in budgets)
+
+    def test_child_charges_parent(self):
+        parent = Budget(max_steps=10)
+        child = parent.child(max_steps=100)
+        assert all(child.charge() for _ in range(10))
+        assert not child.charge()  # parent blew first
+        assert child.exhausted.dimension == "steps"
+        assert parent.exhausted is not None
+
+    def test_child_own_limit_leaves_parent_intact(self):
+        parent = Budget(max_steps=100)
+        child = parent.child(max_steps=3)
+        assert all(child.charge() for _ in range(3))
+        assert not child.charge()
+        assert parent.exact  # parent can still fund other children
+        assert parent.child(max_steps=3).charge()
+
+    def test_child_inherits_cancellation(self):
+        token = Cancellation()
+        parent = Budget(cancellation=token)
+        child = parent.child(max_steps=5)
+        token.cancel()
+        assert not child.ok
+
+    def test_exhausted_str(self):
+        b = Budget(max_steps=1)
+        b.charge(2)
+        assert "steps" in str(b.exhausted)
+        assert str(BudgetExhausted("cancelled", 0, None)) == "cancelled"
+
+
+class TestAmbientScope:
+    def test_no_ambient_by_default(self):
+        assert current_budget() is None
+
+    def test_scope_installs_and_restores(self):
+        b = Budget(max_steps=7)
+        with budget_scope(b):
+            assert current_budget() is b
+            with budget_scope(None):
+                assert current_budget() is None
+            assert current_budget() is b
+        assert current_budget() is None
+
+    def test_coerce_passthrough_and_int(self):
+        b = Budget(max_steps=9)
+        assert coerce_budget(b) is b
+        c = coerce_budget(123)
+        assert c.max_steps == 123
+        d = coerce_budget(None, default_steps=55)
+        assert d.max_steps == 55
+
+    def test_coerce_links_ambient_parent(self):
+        ambient = Budget(max_steps=4)
+        with budget_scope(ambient):
+            c = coerce_budget(1_000_000)
+            assert c.parent is ambient
+            assert all(c.charge() for _ in range(4))
+            assert not c.charge()  # ambient funded only 4 steps

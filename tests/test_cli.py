@@ -53,6 +53,57 @@ class TestClassify:
         assert main(["classify", str(p)]) == 1
 
 
+class TestClassifyPortfolio:
+    """The portfolio flags: --jobs, --budget-steps, --budget-ms,
+    --short-circuit, and the chase-style 0/1/2 exit codes."""
+
+    REJECTED = (
+        "r1: A(x) -> exists y. R(x, y)\n"
+        "r2: R(x, y) -> A(y)\n"
+    )
+
+    @pytest.fixture
+    def rejected_file(self, tmp_path):
+        p = tmp_path / "rejected.deps"
+        p.write_text(self.REJECTED)
+        return str(p)
+
+    def test_jobs_same_verdict_as_sequential(self, sigma1_file, capsys):
+        assert main(["classify", sigma1_file]) == 0
+        seq = capsys.readouterr().out
+        assert main(["classify", sigma1_file, "--jobs", "4"]) == 0
+        par = capsys.readouterr().out
+        # Same criteria, same marks (timings differ).
+        strip = lambda out: [line.split("  ")[1] for line in out.splitlines()[1:-1]]
+        assert strip(seq) == strip(par)
+
+    def test_trusted_rejection_exits_1(self, rejected_file):
+        assert main(["classify", rejected_file]) == 1
+
+    def test_budget_exhaustion_exits_2(self, rejected_file, capsys):
+        code = main(["classify", rejected_file, "--budget-steps", "20"])
+        assert code == 2
+        assert "[budget]" in capsys.readouterr().out
+
+    def test_budget_ms_accepting_still_exits_0(self, sigma1_file):
+        # Acceptance is sound regardless of other criteria's budgets.
+        assert main(["classify", sigma1_file, "--budget-ms", "60000"]) == 0
+
+    def test_short_circuit_skips_and_keeps_verdict(self, sigma1_file, capsys):
+        code = main(["classify", sigma1_file, "--jobs", "2", "--short-circuit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "terminating" in out
+
+    def test_help_documents_portfolio_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["classify", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--jobs", "--budget-steps", "--budget-ms", "--short-circuit"):
+            assert flag in out
+
+
 class TestChase:
     def test_inline_facts(self, sigma1_file, capsys):
         code = main(

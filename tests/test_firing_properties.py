@@ -15,9 +15,10 @@ from hypothesis import strategies as st
 from repro.firing import FiringOracle, chase_graph, firing_graph
 from repro.generators import random_dependency_set
 
-# Derandomized for the same reason as tests/test_properties.py: keep the
-# suite and CI reproducible (the oracles here run chases whose cost varies
-# wildly across random programs).
+# Any seed draw is safe: the witness engines behind the oracles run under
+# per-pair step budgets linked to the ambient analysis budget (see
+# repro.budget), so no random program can hang the suite — derandomize
+# below only keeps the chosen examples reproducible run-to-run.
 SETTINGS = settings(
     max_examples=15,
     deadline=None,
@@ -25,7 +26,7 @@ SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
-seeds = st.integers(min_value=0, max_value=5_000)
+seeds = st.integers(min_value=0, max_value=10_000)
 
 
 class TestFiringLaws:

@@ -6,7 +6,8 @@ each case tiny; the properties are the load-bearing laws of the library:
 
 * chase results are models; merges preserve containment;
 * cores are homomorphically equivalent retracts;
-* criterion hierarchy inclusions (WA ⊆ SC, Str ⊆ S-Str, AC ⊆ SAC, C ⊆ Adn∃-C);
+* criterion hierarchy inclusions (WA ⊆ SC, Str ⊆ S-Str, AC ⊆ SAC, C ⊆ Adn∃-C)
+  — asserted for exact runs; budget/livelock-truncated ones are conservative;
 * accepted sets really admit terminating sequences (criterion soundness,
   checked with the bounded explorer);
 * simulations are TGD-only and preserve predicates.
@@ -33,17 +34,18 @@ SETTINGS = settings(
 
 seeds = st.integers(min_value=0, max_value=10_000)
 
-# The adornment / semi-stratification criteria run the witness engine over
-# every pair of adorned dependencies, and on ~0.4% of random 3-dependency
-# programs that search effectively diverges (hours; e.g. seeds 36 and 43
-# below are excluded for exactly that reason — see ROADMAP.md open items).
-# Tests that invoke those criteria therefore draw from a pre-verified pool:
-# every member completes each criterion call in well under a second, so no
-# hypothesis draw can hang the suite.
-CRITERIA_SEEDS = [
-    s for s in range(66) if s not in (36, 43)
-]
-criteria_seeds = st.sampled_from(CRITERIA_SEEDS)
+# PR 1 drew the witness-engine-heavy criteria tests from a pre-verified
+# seed pool because `adn_exists` diverged (livelocked) on ~0.4% of random
+# 3-dependency programs (seeds 36/43/166 of the 0–499 sweep).  The
+# adornment saturation now runs under a budget with a livelock detector
+# (see repro.budget and tests/test_adn_divergence.py), so *any* draw
+# completes quickly with an explicit non-exact verdict and the criteria
+# tests draw from the full seed space again — derandomize above keeps the
+# chosen examples reproducible run-to-run, nothing more.  The historical
+# pool survives as a fast smoke subset: every member's criterion calls
+# are exact and sub-second, which TestCriteriaSeedPoolSmoke pins.
+criteria_seeds = seeds
+CRITERIA_SEED_POOL = [s for s in range(66) if s not in (36, 43)]
 
 
 # -- instance strategies -----------------------------------------------------
@@ -123,15 +125,21 @@ class TestHierarchyProperties:
     def test_wa_subset_adn_wa(self, seed):
         sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.2)
         if get_criterion("WA").accepts(sigma):
-            assert AdnCombined("WA").accepts(sigma)
+            result = AdnCombined("WA").check(sigma)
+            # The inclusion is a theorem about completed runs; a budget-
+            # or livelock-truncated adornment reports exact=False and its
+            # conservative rejection proves nothing.
+            assert result.accepted or not result.exact
 
     @SETTINGS
     @given(criteria_seeds)
     def test_sstr_subset_sac(self, seed):
-        # Theorem 9: S-Str ⊆ SAC.
+        # Theorem 9: S-Str ⊆ SAC (for completed adornment runs; truncated
+        # ones are conservative and flagged exact=False).
         sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
         if is_semi_stratified(sigma):
-            assert is_semi_acyclic(sigma)
+            result = adn_exists(sigma)
+            assert result.acyclic or not result.exact
 
 
 class TestSoundnessProperties:
@@ -190,6 +198,21 @@ class TestSimulationProperties:
                     continue
                 seen.extend(t for t in atom.args if t.is_variable)
             assert len(seen) == len(set(seen)), dep
+
+
+class TestCriteriaSeedPoolSmoke:
+    """The PR 1 pre-verified pool, kept as a fast smoke subset: every
+    member must stay exact and quick for the witness-engine-heavy
+    criteria (a regression here would mean the criteria got slower or
+    less precise on known-good programs, not just on adversarial ones)."""
+
+    @SETTINGS
+    @given(st.sampled_from(CRITERIA_SEED_POOL))
+    def test_pool_members_stay_exact(self, seed):
+        sigma = random_dependency_set(seed, n_deps=3, egd_fraction=0.3)
+        result = adn_exists(sigma)
+        assert result.exact
+        assert result.stats["stopped"] is None
 
 
 class TestAdornmentProperties:
