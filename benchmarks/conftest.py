@@ -19,7 +19,8 @@ import signal
 
 import pytest
 
-from repro.analysis.evaluation import evaluate_ontology, summarise
+from repro.analysis.evaluation import summarise
+from repro.batch import BatchConfig, evaluate_corpus
 from repro.generators import generate_corpus
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -66,11 +67,18 @@ def corpus():
 
 @pytest.fixture(scope="session")
 def corpus_evaluations(corpus):
-    """Adn∃ + chase ground truth for every ontology (Tables 2(b)/(c))."""
-    chase_steps = int(os.environ.get("REPRO_CHASE_STEPS", "1200"))
-    return [
-        evaluate_ontology(ont, chase_steps=chase_steps) for ont in corpus
-    ]
+    """Adn∃ + chase ground truth for every ontology (Tables 2(b)/(c)).
+
+    Runs through the batch engine: ``REPRO_JOBS=N`` fans the corpus out
+    over N worker processes, ``REPRO_CACHE_DIR=...`` makes repeated bench
+    runs incremental (only new or changed ontologies are re-evaluated).
+    """
+    config = BatchConfig(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        chase_steps=int(os.environ.get("REPRO_CHASE_STEPS", "1200")),
+    )
+    return evaluate_corpus(corpus, config).evaluations()
 
 
 @pytest.fixture(scope="session")

@@ -2,15 +2,22 @@
 """Mini corpus evaluation: the Table 2 pipeline on a small sample.
 
 Generates a down-scaled slice of the synthetic ontology corpus (same class
-structure as the paper's 178 ontologies), runs Adn∃ and the bounded chase
-on each, and prints the per-class summary — a miniature of the paper's
-Section 7 evaluation.  The full run lives in
+structure as the paper's 178 ontologies) and runs it through the batch
+evaluation engine (``repro.batch``) — twice, against one cache directory,
+to show the content-addressed reuse that makes repeated corpus-scale runs
+cheap: the cold run evaluates every ontology (Adn∃ + bounded chase), the
+warm run evaluates none.  The per-class summary is the miniature of the
+paper's Section 7 evaluation; the full run lives in
 ``benchmarks/test_bench_table2.py``.
 
 Run:  python examples/corpus_evaluation.py
 """
 
-from repro.analysis.evaluation import evaluate_ontology, render_table2, summarise
+import tempfile
+import time
+
+from repro.analysis.evaluation import render_table2, summarise
+from repro.batch import BatchConfig, evaluate_corpus
 from repro.generators import generate_corpus
 
 
@@ -19,17 +26,31 @@ def main() -> None:
     print(f"generated {len(corpus)} ontologies "
           f"(classes: {sorted({o.class_name for o in corpus})})\n")
 
-    evaluations = []
-    for ont in corpus:
-        ev = evaluate_ontology(ont, chase_steps=800)
-        evaluations.append(ev)
-        verdict = "SAC✓" if ev.semi_acyclic else "SAC✗"
-        chase = "halted" if ev.chase_halted else "no halt"
-        print(f"  {ont.name:<24} {ont.character:<17} |Σ|={ev.size:>3} "
-              f"|Σµ|/|Σ|={ev.ratio:4.1f}  {verdict}  chase: {chase}")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        config = BatchConfig(cache_dir=cache_dir, chase_steps=800)
 
-    print()
-    print(render_table2(summarise(evaluations)))
+        start = time.perf_counter()
+        cold = evaluate_corpus(corpus, config)
+        cold_s = time.perf_counter() - start
+
+        for ev in cold.evaluations():
+            verdict = "SAC✓" if ev.semi_acyclic else "SAC✗"
+            chase = "halted" if ev.chase_halted else "no halt"
+            print(f"  {ev.name:<24} {ev.character:<17} |Σ|={ev.size:>3} "
+                  f"|Σµ|/|Σ|={ev.ratio:4.1f}  {verdict}  chase: {chase}")
+
+        print()
+        print(render_table2(summarise(cold.evaluations())))
+
+        start = time.perf_counter()
+        warm = evaluate_corpus(corpus, config)
+        warm_s = time.perf_counter() - start
+
+        print()
+        print(f"cold run: {cold.computed} evaluated in {cold_s:.2f}s; "
+              f"warm run: {warm.computed} evaluated in {warm_s:.2f}s "
+              f"(hit rate {warm.hit_rate:.0%})")
+        assert warm.computed == 0, "warm run must be served from the cache"
 
 
 if __name__ == "__main__":

@@ -14,7 +14,10 @@ The package provides, from scratch:
 * the paper's contributions — semi-stratification (S-Str), the Adn∃
   adornment algorithm, semi-acyclicity (SAC) and the Adn∃-C combination;
 * a synthetic ontology corpus and benches regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* a corpus-scale batch engine (:mod:`repro.batch`): process-pool
+  sharding plus a content-addressed on-disk result cache, so re-running
+  a corpus only evaluates new or changed programs.
 
 Quickstart::
 
@@ -31,6 +34,12 @@ Quickstart::
 """
 
 from .analysis import ClassificationReport, ClassifyConfig, classify
+from .batch import (
+    BatchConfig,
+    BatchReport,
+    canonical_fingerprint,
+    evaluate_corpus,
+)
 from .budget import Budget, BudgetExhausted, Cancellation, budget_scope
 from .chase import (
     ChaseResult,
@@ -76,6 +85,10 @@ from .simulation import natural_simulation, substitution_free_simulation
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchConfig",
+    "BatchReport",
+    "canonical_fingerprint",
+    "evaluate_corpus",
     "Budget",
     "BudgetExhausted",
     "Cancellation",

@@ -1,0 +1,36 @@
+"""repro.batch — sharded, cached, corpus-scale batch evaluation.
+
+The corpus-scale counterpart of :func:`repro.classify`: where ``classify``
+answers for one program, :func:`evaluate_corpus` answers for hundreds,
+fanning misses out over a process pool and serving everything it has seen
+before from a content-addressed on-disk cache (keyed by
+:func:`canonical_fingerprint`, so renamed or reordered twins hit too).
+``repro batch`` on the command line fronts the same engine.
+
+See DESIGN.md §4 for the canonical-hash definition, the cache entry
+schema and the resume semantics.
+"""
+
+from .cache import SCHEMA_VERSION, CacheStats, ResultCache
+from .engine import (
+    BatchConfig,
+    BatchReport,
+    ProgramResult,
+    evaluate_corpus,
+    shard_of,
+)
+from .fingerprint import FINGERPRINT_VERSION, canonical_fingerprint, stable_hash
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "BatchConfig",
+    "BatchReport",
+    "ProgramResult",
+    "evaluate_corpus",
+    "shard_of",
+    "FINGERPRINT_VERSION",
+    "canonical_fingerprint",
+    "stable_hash",
+]

@@ -1,0 +1,145 @@
+"""The on-disk, content-addressed result cache of the batch engine.
+
+One cache is one directory holding ``results.jsonl``: an append-only log
+of evaluation records, one JSON object per line (via
+:func:`repro.io.jsonl_dumps`).  Append-only is what makes the cache
+crash-safe and resumable — an interrupted run leaves at worst one
+truncated final line, which the loader counts and skips — and JSONL keeps
+it greppable and diffable.
+
+Every line carries three envelope fields next to the payload:
+
+* ``schema`` — :data:`SCHEMA_VERSION`; entries written under another
+  version are *stale* and ignored on load (bumping the constant is the
+  cache-wide invalidation switch — required whenever the record payload
+  or the evaluation semantics behind it change);
+* ``key`` — the program's canonical content fingerprint
+  (:func:`repro.batch.fingerprint.canonical_fingerprint`);
+* ``params`` — a fingerprint of every evaluation parameter that affects
+  the result (mode, chase steps, budgets).  A hit requires key *and*
+  params to match: re-running with a different budget never reuses a
+  verdict obtained under the old one.
+
+Duplicate keys can legitimately occur (two interleaved runs, or a
+``put`` racing a crash); the loader keeps the *last* record, matching
+"the log is the truth, later writes win".
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import IO
+
+from ..io import iter_jsonl, jsonl_dumps
+
+#: Version of the cache record schema *and* of the evaluation semantics
+#: producing the payloads.  Any change to either must bump this.
+SCHEMA_VERSION = 1
+
+_RESULTS_NAME = "results.jsonl"
+
+
+@dataclass
+class CacheStats:
+    """What happened while loading and serving one cache."""
+
+    loaded: int = 0          # live entries available after load
+    corrupted: int = 0       # unparseable lines skipped
+    stale_schema: int = 0    # entries under another SCHEMA_VERSION
+    hits: int = 0
+    misses: int = 0
+    params_misses: int = 0   # key present but evaluated under other params
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Load-once, append-forever view of one cache directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries = {}
+        self._fh = None
+        self._load()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self.directory / _RESULTS_NAME
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for _, record in iter_jsonl(self.path.read_text()):
+            if record is None:
+                self.stats.corrupted += 1
+                continue
+            if record.get("schema") != SCHEMA_VERSION:
+                self.stats.stale_schema += 1
+                continue
+            key = record.get("key")
+            if not isinstance(key, str):
+                self.stats.corrupted += 1
+                continue
+            self._entries[key] = record
+        self.stats.loaded = len(self._entries)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str, params: str) -> dict | None:
+        """The cached payload for ``(key, params)``, or None (a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.get("params") != params:
+            self.stats.misses += 1
+            self.stats.params_misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["record"]
+
+    def put(self, key: str, params: str, record: dict) -> None:
+        """Append one record and make it immediately visible and durable.
+
+        Durability is per line: the line is flushed before ``put``
+        returns, so a later SIGINT cannot lose it — this is what lets an
+        interrupted batch run resume exactly where it stopped.
+        """
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "params": params,
+            "record": record,
+        }
+        if self._fh is None:
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(jsonl_dumps(entry) + "\n")
+        self._fh.flush()
+        self._entries[key] = entry
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r}, {len(self)} entries)"

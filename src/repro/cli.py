@@ -18,6 +18,12 @@ Commands
 ``explore FILE --data FACTS``
     Exhaustively explore the chase's nondeterminism within bounds.
 
+``batch FILE... | batch --corpus``
+    Batch-evaluate many programs through the sharded, content-addressed
+    result cache (``repro.batch``): ``--jobs`` fans out over processes,
+    ``--cache-dir`` makes re-runs incremental and interrupted runs
+    resumable, ``--shard I/N`` splits the key space across machines.
+
 Dependency files use the syntax of :mod:`repro.model.parser`; facts files
 contain atoms such as ``N("a") E("a","b")``.
 """
@@ -140,6 +146,73 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if result.some_terminating else 1
 
 
+def _parse_shard(spec: str | None) -> tuple[int, int] | None:
+    if spec is None:
+        return None
+    try:
+        index, count = (int(part) for part in spec.split("/", 1))
+    except ValueError:
+        raise SystemExit(f"bad --shard {spec!r}: expected I/N, e.g. 0/4")
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(f"bad --shard {spec!r}: need 0 <= I < N")
+    return (index, count)
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Batch-evaluate dependency files or the synthetic corpus.
+
+    Exit codes extend the ``classify`` contract to a whole corpus:
+    0 — every selected program evaluated, no budget trouble; 1 — the run
+    is incomplete (interrupted; re-run with the same ``--cache-dir`` to
+    resume); 2 — complete, but some program exhausted its budget, so its
+    recorded rejection cannot be trusted.
+    """
+    from .batch import BatchConfig, evaluate_corpus
+    from .generators.corpus import GeneratedOntology, generate_corpus
+
+    if bool(args.files) == bool(args.corpus):
+        raise SystemExit("batch needs dependency files or --corpus (not both)")
+    if args.corpus:
+        classes = args.corpus_classes.split(",") if args.corpus_classes else None
+        programs = generate_corpus(
+            scale=args.corpus_scale,
+            tests_scale=args.corpus_tests_scale,
+            classes=classes,
+        )
+    else:
+        programs = [
+            GeneratedOntology(
+                name=pathlib.Path(f).stem,
+                class_name="file",
+                sigma=_load_sigma(f),
+                seed=0,
+                character="file",
+            )
+            for f in args.files
+        ]
+    config = BatchConfig(
+        mode=args.mode,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        shard=_parse_shard(args.shard),
+        resume=args.resume,
+        budget_steps=args.budget_steps,
+        budget_ms=args.budget_ms,
+        chase_steps=args.chase_steps,
+        criteria=args.criteria.split(",") if args.criteria else None,
+    )
+    report = evaluate_corpus(programs, config)
+    if args.format == "jsonl":
+        if report.results:
+            print(report.to_jsonl())
+        print(report.summary_line(), file=sys.stderr)
+    else:
+        print(report.render_table())
+    if not report.complete:
+        return 1
+    return 2 if report.any_exhausted else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -164,6 +237,49 @@ def build_parser() -> argparse.ArgumentParser:
                         "overall verdict (cheap static criteria usually "
                         "decide it first)")
     p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser(
+        "batch",
+        help="batch-evaluate many programs (sharded, content-addressed cache)",
+    )
+    p.add_argument("files", nargs="*",
+                   help="dependency files; omit when using --corpus")
+    p.add_argument("--corpus", action="store_true",
+                   help="evaluate the synthetic Table 2 ontology corpus")
+    p.add_argument("--corpus-scale", default=None, metavar="S",
+                   help="corpus size scale (float or 'paper'; default: "
+                        "REPRO_SCALE or the CI-friendly 0.06)")
+    p.add_argument("--corpus-tests-scale", type=float, default=None,
+                   metavar="T", help="per-class test count multiplier")
+    p.add_argument("--corpus-classes", metavar="A,B",
+                   help="restrict to these Table 2(a) classes")
+    p.add_argument("--mode", default="evaluate",
+                   choices=["evaluate", "classify"],
+                   help="evaluate: Adn∃ + chase ground truth (Table 2); "
+                        "classify: the full criterion portfolio")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="evaluate programs on N worker processes")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed result cache; re-runs only "
+                        "evaluate new or changed programs")
+    p.add_argument("--shard", metavar="I/N",
+                   help="evaluate only the programs in key-space shard I "
+                        "of N (deterministic; for multi-machine runs)")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="reuse cached results (--no-resume recomputes "
+                        "everything but still refreshes the cache)")
+    p.add_argument("--format", default="table", choices=["jsonl", "table"],
+                   help="stdout format (jsonl prints one record per line)")
+    p.add_argument("--budget-steps", type=int, default=None, metavar="N",
+                   help="per-program work budget in abstract steps")
+    p.add_argument("--budget-ms", type=float, default=None, metavar="MS",
+                   help="per-program wall-clock budget in milliseconds")
+    p.add_argument("--chase-steps", type=int, default=1_200, metavar="N",
+                   help="chase ground-truth step bound (evaluate mode)")
+    p.add_argument("--criteria", metavar="A,B",
+                   help="criterion subset (classify mode)")
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("chase", help="run one chase sequence")
     p.add_argument("file")

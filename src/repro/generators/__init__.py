@@ -11,9 +11,19 @@ from .corpus import (
     resolve_scale,
 )
 from .databases import seed_database, sparse_database
+from .metamorphic import (
+    random_isomorph,
+    rename_predicates,
+    rename_variables,
+    reorder_dependencies,
+)
 from .random_deps import random_dependency_set
 
 __all__ = [
+    "random_isomorph",
+    "rename_predicates",
+    "rename_variables",
+    "reorder_dependencies",
     "DEFAULT_CHARACTER_MIX",
     "DEFAULT_SEED",
     "TABLE2A_CLASSES",

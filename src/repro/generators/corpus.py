@@ -461,6 +461,7 @@ def generate_corpus(
     seed: int = DEFAULT_SEED,
     character_mix: dict | None = None,
     max_size: int | None = 60,
+    classes: list[str] | None = None,
 ) -> list[GeneratedOntology]:
     """Generate the full eight-class corpus.
 
@@ -470,7 +471,11 @@ def generate_corpus(
     ``max_size`` caps the per-ontology dependency count after scaling
     (None = uncapped, used by REPRO_SCALE=paper runs).  The cap compresses
     the inter-class size ratios; EXPERIMENTS.md reports both the paper's
-    sizes and ours.
+    sizes and ours.  ``classes`` restricts generation to the named
+    Table 2(a) classes (e.g. the batch bench's class-1-only corpus);
+    per-ontology seeds are always drawn in full-corpus order, so a
+    restricted corpus contains exactly the ontologies the full corpus
+    would for those classes.
     """
     if isinstance(scale, str) and scale == "paper":
         max_size = None
@@ -478,11 +483,20 @@ def generate_corpus(
         max_size = None
     scale = resolve_scale(scale)
     tests_scale = 1.0 if tests_scale is None else tests_scale
+    if classes is not None:
+        known = {c["name"] for c in TABLE2A_CLASSES}
+        unknown = set(classes) - known
+        if unknown:
+            raise ValueError(f"unknown corpus classes {sorted(unknown)}")
     mix = character_mix or DEFAULT_CHARACTER_MIX
     master = random.Random(seed)
     corpus: list[GeneratedOntology] = []
     for cls in TABLE2A_CLASSES:
         tests = max(1, round(cls["tests"] * tests_scale))
+        if classes is not None and cls["name"] not in classes:
+            for _ in range(tests):  # keep the seed stream aligned
+                master.randrange(2**31)
+            continue
         lo_e, hi_e = cls["exist"]
         lo_g, hi_g = cls["egd"]
         for t in range(tests):

@@ -1,0 +1,122 @@
+"""Metamorphic transformations of dependency sets.
+
+A *metamorphic relation* is a transformation of the input under which the
+output is known to be invariant — here: termination verdicts do not care
+what predicates or variables are called, nor in which order the
+dependencies of Σ are listed.  These three transformations generate the
+isomorphism class over which the batch engine's canonical fingerprint
+(:mod:`repro.batch.fingerprint`) must not distinguish programs; the
+metamorphic suite (``tests/test_metamorphic.py``) checks both directions:
+
+* **verdict invariance** — every criterion decides a transformed program
+  exactly as it decides the original (the soundness assumption behind
+  serving a cached verdict to a renamed twin);
+* **fingerprint invariance** — the transformed program hits the same
+  cache entry.
+
+All transformations are seeded and deterministic: a given ``rng`` state
+produces the same renaming every time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..model.atoms import Atom
+from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
+from ..model.terms import Term, Variable
+
+
+def rename_predicates(
+    sigma: DependencySet, rng: random.Random, prefix: str = "MP"
+) -> DependencySet:
+    """A schema-wide random bijective renaming of the predicates.
+
+    Fresh names never collide with existing ones (the prefix is suffixed
+    with a distinguishing counter drawn from the permutation), so the
+    result is isomorphic to Σ, never a quotient of it.
+    """
+    preds = sorted(sigma.predicates())
+    existing = set(preds)
+    while any(f"{prefix}{i}" in existing for i in range(len(preds))):
+        prefix += "_"
+    perm = list(range(len(preds)))
+    rng.shuffle(perm)
+    mapping = {p: f"{prefix}{perm[i]}" for i, p in enumerate(preds)}
+
+    def ren(atom: Atom) -> Atom:
+        return Atom(mapping[atom.predicate], atom.args)
+
+    out = DependencySet()
+    for dep in sigma:
+        if isinstance(dep, TGD):
+            out.add(
+                TGD(
+                    [ren(a) for a in dep.body],
+                    [ren(a) for a in dep.head],
+                    existential=dep.existential,
+                    label=dep.label,
+                )
+            )
+        else:
+            out.add(EGD([ren(a) for a in dep.body], dep.lhs, dep.rhs, label=dep.label))
+    return out
+
+
+def rename_variables(sigma: DependencySet, rng: random.Random) -> DependencySet:
+    """A per-dependency random bijective renaming of the variables.
+
+    Variables are quantified per dependency, so each dependency gets its
+    own permutation — a stronger transformation than one global renaming.
+    """
+    out = DependencySet()
+    for dep in sigma:
+        names = sorted(v.name for v in dep.variables())
+        perm = list(range(len(names)))
+        rng.shuffle(perm)
+        mapping: dict[Term, Term] = {
+            Variable(n): Variable(f"mv{perm[i]}") for i, n in enumerate(names)
+        }
+        if isinstance(dep, TGD):
+            out.add(
+                TGD(
+                    [a.apply(mapping) for a in dep.body],
+                    [a.apply(mapping) for a in dep.head],
+                    existential=[mapping[v] for v in dep.existential],  # type: ignore[misc]
+                    label=dep.label,
+                )
+            )
+        else:
+            out.add(
+                EGD(
+                    [a.apply(mapping) for a in dep.body],
+                    mapping[dep.lhs],  # type: ignore[arg-type]
+                    mapping[dep.rhs],  # type: ignore[arg-type]
+                    label=dep.label,
+                )
+            )
+    return out
+
+
+def reorder_dependencies(
+    sigma: DependencySet, rng: random.Random
+) -> DependencySet:
+    """A random permutation of the listing order of Σ."""
+    deps: list[AnyDependency] = list(sigma)
+    rng.shuffle(deps)
+    return DependencySet(deps)
+
+
+#: The full metamorphic family, composable in any order.
+TRANSFORMS = (rename_predicates, rename_variables, reorder_dependencies)
+
+
+def random_isomorph(
+    sigma: DependencySet, seed: int
+) -> DependencySet:
+    """All three transformations composed under one seed."""
+    rng = random.Random(seed)
+    out = sigma
+    for t in TRANSFORMS:
+        out = t(out, rng)
+    return out

@@ -157,6 +157,41 @@ def instance_from_json(data: dict) -> Instance:
     return Instance(atom_from_json(a) for a in payload)
 
 
+# -- JSONL ---------------------------------------------------------------------
+
+
+def jsonl_dumps(record: dict) -> str:
+    """One record → one compact JSON line (no newline appended).
+
+    Keys are sorted so identical records always serialise identically —
+    the batch result cache (:mod:`repro.batch.cache`) relies on this for
+    stable diffs of its on-disk log.
+    """
+    text = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if "\n" in text:  # only possible via exotic payloads; keep lines atomic
+        raise SerialisationError("JSONL records must serialise to one line")
+    return text
+
+
+def iter_jsonl(text: str) -> Any:
+    """Yield ``(line_number, record_or_None)`` for each non-blank line.
+
+    Malformed lines — truncated tails of an interrupted writer, garbage
+    from a corrupted disk — yield ``None`` instead of raising, so a
+    reader can count and skip them while keeping every intact record
+    before *and after* the damage.
+    """
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            yield i, None
+            continue
+        yield i, record if isinstance(record, dict) else None
+
+
 def dumps(obj: DependencySet | Instance, indent: int | None = 2) -> str:
     """JSON text for a dependency set or an instance."""
     if isinstance(obj, DependencySet):

@@ -159,13 +159,31 @@ class Instance:
         return len(self._facts)
 
     def __eq__(self, other: object) -> bool:
+        """Value equality: two instances are equal iff they hold the same
+        facts.  Indexes, the delta log and tick positions are derived
+        state and deliberately excluded — they record *how* an instance
+        was built, not *what* it contains.  Comparison against a plain
+        ``set``/``frozenset`` of atoms is supported for test ergonomics.
+        """
         if isinstance(other, Instance):
             return self._facts == other._facts
         if isinstance(other, (set, frozenset)):
             return self._facts == other
         return NotImplemented
 
-    def __hash__(self) -> int:  # pragma: no cover - identity use only
+    def __hash__(self) -> int:
+        """Instances are explicitly unhashable.
+
+        With a value-based ``__eq__`` on a *mutable* container, any hash
+        would be broken one way or the other: hashing the facts changes
+        as the chase mutates the instance (corrupting any dict or set it
+        sits in), while the silent default — ``object.__hash__``,
+        identity-based — would violate the ``a == b ⇒ hash(a) == hash(b)``
+        law and make equal instances land in different hash buckets.
+        Raising here (rather than ``__hash__ = None``) gives callers the
+        remedy: hash the immutable :meth:`frozen` snapshot instead.
+        Regression-tested in ``tests/test_instances.py``.
+        """
         raise TypeError("Instance is mutable and unhashable; use frozen()")
 
     def __repr__(self) -> str:

@@ -1,0 +1,256 @@
+"""Cache correctness: hits, misses, invalidation, corruption recovery,
+and the cached-equals-fresh differential guarantee."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.batch import (
+    SCHEMA_VERSION,
+    BatchConfig,
+    ResultCache,
+    canonical_fingerprint,
+    evaluate_corpus,
+)
+from repro.budget import Cancellation
+from repro.generators import generate_corpus, random_isomorph
+from repro.io import jsonl_dumps
+
+
+@pytest.fixture
+def small_corpus():
+    return generate_corpus(scale=0.03, tests_scale=0.05, max_size=15)
+
+
+def config(tmp_path, **kwargs) -> BatchConfig:
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("chase_steps", 300)
+    return BatchConfig(**kwargs)
+
+
+class TestCacheBasics:
+    def test_hit_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("k1", "p1") is None
+        cache.put("k1", "p1", {"answer": 42})
+        assert cache.get("k1", "p1") == {"answer": 42}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        cache.close()
+        # A fresh process sees the same entry.
+        reread = ResultCache(tmp_path)
+        assert reread.get("k1", "p1") == {"answer": 42}
+
+    def test_params_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", "p1", {"answer": 42})
+        assert cache.get("k1", "other-params") is None
+        assert cache.stats.params_misses == 1
+
+    def test_last_write_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", "p1", {"answer": 1})
+        cache.put("k1", "p1", {"answer": 2})
+        cache.close()
+        assert ResultCache(tmp_path).get("k1", "p1") == {"answer": 2}
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", "p1", {"answer": 42})
+        cache.close()
+        # Rewrite the entry as if written by an older engine version.
+        path = tmp_path / "results.jsonl"
+        entry = json.loads(path.read_text())
+        entry["schema"] = SCHEMA_VERSION - 1
+        path.write_text(jsonl_dumps(entry) + "\n")
+        stale = ResultCache(tmp_path)
+        assert stale.get("k1", "p1") is None
+        assert stale.stats.stale_schema == 1
+        assert len(stale) == 0
+
+    def test_corrupted_line_recovery(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", "p1", {"answer": 1})
+        cache.close()
+        path = tmp_path / "results.jsonl"
+        good = path.read_text()
+        # Damage in the middle: garbage, a truncated record (a crashed
+        # writer's torn final line), a non-object line — then a good
+        # record *after* the damage, which must still load.
+        path.write_text(
+            good
+            + "<<<not json>>>\n"
+            + good.strip()[: len(good) // 2] + "\n"
+            + "[1, 2, 3]\n"
+            + jsonl_dumps(
+                {"schema": SCHEMA_VERSION, "key": "k2", "params": "p1",
+                 "record": {"answer": 2}}
+            )
+            + "\n"
+        )
+        recovered = ResultCache(tmp_path)
+        assert recovered.stats.corrupted == 3
+        assert recovered.get("k1", "p1") == {"answer": 1}
+        assert recovered.get("k2", "p1") == {"answer": 2}
+
+    def test_blank_lines_are_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", "p1", {"answer": 1})
+        cache.close()
+        path = tmp_path / "results.jsonl"
+        path.write_text("\n" + path.read_text() + "\n\n")
+        assert ResultCache(tmp_path).stats.corrupted == 0
+
+
+class TestEngineCaching:
+    def test_differential_cached_equals_fresh(self, tmp_path, small_corpus):
+        """The load-bearing guarantee: a warm run returns byte-identical
+        evaluations to the cold run that populated the cache, and a
+        cache-less run agrees on every verdict."""
+        cfg = config(tmp_path)
+        cold = evaluate_corpus(small_corpus, cfg)
+        warm = evaluate_corpus(small_corpus, cfg)
+        assert warm.computed == 0
+        assert warm.hits + warm.deduplicated == len(small_corpus)
+        assert [dataclasses.asdict(e) for e in cold.evaluations()] == [
+            dataclasses.asdict(e) for e in warm.evaluations()
+        ]
+        fresh = evaluate_corpus(
+            small_corpus, BatchConfig(chase_steps=cfg.chase_steps)
+        )
+        verdicts = lambda r: [  # noqa: E731 - local projection
+            (e.name, e.semi_acyclic, e.chase_halted, e.adorned_size)
+            for e in r.evaluations()
+        ]
+        assert verdicts(fresh) == verdicts(warm)
+
+    def test_isomorphic_twin_hits(self, tmp_path, small_corpus):
+        """A renamed/reordered corpus is served entirely from the cache
+        populated by the original — the content-addressing payoff."""
+        cfg = config(tmp_path)
+        evaluate_corpus(small_corpus, cfg)
+        twins = [
+            dataclasses.replace(o, sigma=random_isomorph(o.sigma, seed=o.seed))
+            for o in small_corpus
+        ]
+        warm = evaluate_corpus(twins, cfg)
+        assert warm.computed == 0
+
+    def test_changed_program_is_recomputed(self, tmp_path, small_corpus):
+        cfg = config(tmp_path)
+        evaluate_corpus(small_corpus, cfg)
+        changed = list(small_corpus)
+        grown = changed[0].sigma.relabel()
+        extra = generate_corpus(scale=0.03, tests_scale=0.05, max_size=15,
+                                seed=999)[0].sigma
+        for d in extra:
+            grown.add(d)
+        changed[0] = dataclasses.replace(changed[0], sigma=grown)
+        warm = evaluate_corpus(changed, cfg)
+        assert warm.computed == 1
+
+    def test_params_change_recomputes(self, tmp_path, small_corpus):
+        evaluate_corpus(small_corpus, config(tmp_path, chase_steps=300))
+        other = evaluate_corpus(small_corpus, config(tmp_path, chase_steps=301))
+        assert other.computed > 0
+        assert other.hits == 0
+
+    def test_no_resume_recomputes_but_refreshes(self, tmp_path, small_corpus):
+        cfg = config(tmp_path)
+        evaluate_corpus(small_corpus, cfg)
+        refresh = evaluate_corpus(
+            small_corpus, dataclasses.replace(cfg, resume=False)
+        )
+        assert refresh.computed > 0 and refresh.hits == 0
+        warm = evaluate_corpus(small_corpus, cfg)
+        assert warm.computed == 0
+
+    def test_interrupt_then_resume(self, tmp_path, small_corpus):
+        """A cancelled run keeps what it finished; the re-run picks up
+        exactly the remainder (the resume semantics of DESIGN.md §4)."""
+        cancelled = Cancellation()
+        cancelled.cancel()
+        cfg = config(tmp_path)
+        # Pre-tripped token: the drain happens before anything runs.
+        nothing = evaluate_corpus(small_corpus, cfg, cancellation=cancelled)
+        assert nothing.interrupted and not nothing.complete
+        assert nothing.computed == 0
+        # Partial progress: evaluate a prefix, then resume the full corpus.
+        prefix = evaluate_corpus(small_corpus[:4], cfg)
+        assert prefix.computed > 0
+        resumed = evaluate_corpus(small_corpus, cfg)
+        assert resumed.complete
+        assert resumed.computed + resumed.hits + resumed.deduplicated == len(
+            small_corpus
+        )
+        assert resumed.computed <= len(small_corpus) - 4
+
+    def test_pool_honours_pretripped_cancellation(self, tmp_path, small_corpus):
+        """Regression: the jobs>1 path used to submit (and compute) work
+        even when the cancellation token was already tripped — the token
+        was only polled after the first completion."""
+        cancelled = Cancellation()
+        cancelled.cancel()
+        report = evaluate_corpus(
+            small_corpus, config(tmp_path, jobs=2), cancellation=cancelled
+        )
+        assert report.interrupted and report.computed == 0
+
+    def test_exhausted_is_persisted(self, tmp_path, small_corpus):
+        """A budget-exhausted verdict must come back from the cache as
+        exhausted — a cached rejection is only as trustworthy as its
+        budget, and the CLI's exit code 2 depends on seeing it."""
+        cfg = config(tmp_path, budget_steps=1)
+        cold = evaluate_corpus(small_corpus[:2], cfg)
+        warm = evaluate_corpus(small_corpus[:2], cfg)
+        assert warm.computed == 0
+        assert cold.any_exhausted and warm.any_exhausted
+        dims = [r.exhausted["dimension"] for r in warm.results if r.exhausted]
+        assert "steps" in dims
+
+    def test_sharding_partitions_and_shares_cache(self, tmp_path, small_corpus):
+        cfg = config(tmp_path)
+        seen: list[str] = []
+        for i in range(3):
+            shard = evaluate_corpus(
+                small_corpus, dataclasses.replace(cfg, shard=(i, 3))
+            )
+            assert shard.complete
+            seen += [r.name for r in shard.results]
+        assert sorted(seen) == sorted(o.name for o in small_corpus)
+        full = evaluate_corpus(small_corpus, cfg)
+        assert full.computed == 0
+
+    def test_pool_agrees_with_inline(self, tmp_path, small_corpus):
+        inline = evaluate_corpus(small_corpus, BatchConfig(chase_steps=300))
+        pooled = evaluate_corpus(
+            small_corpus,
+            config(tmp_path, jobs=2),
+        )
+        project = lambda r: [  # noqa: E731 - local projection
+            (e.name, e.semi_acyclic, e.chase_halted, e.adorned_size)
+            for e in r.evaluations()
+        ]
+        assert project(inline) == project(pooled)
+
+    def test_classify_mode_round_trip(self, tmp_path, small_corpus):
+        cfg = config(tmp_path, mode="classify", criteria=["WA", "SC", "SwA"])
+        cold = evaluate_corpus(small_corpus[:4], cfg)
+        warm = evaluate_corpus(small_corpus[:4], cfg)
+        assert warm.computed == 0
+        assert [r.record["data"] for r in cold.results] == [
+            r.record["data"] for r in warm.results
+        ]
+        with pytest.raises(ValueError):
+            warm.evaluations()
+
+
+class TestFingerprintKeying:
+    def test_key_is_the_fingerprint(self, tmp_path, small_corpus):
+        cfg = config(tmp_path)
+        report = evaluate_corpus(small_corpus[:1], cfg)
+        assert report.results[0].key == canonical_fingerprint(
+            small_corpus[0].sigma
+        )

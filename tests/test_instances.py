@@ -44,6 +44,59 @@ class TestBasics:
         assert inst.with_term(b) == {E(a, b)}
 
 
+class TestEqualityAndHashContract:
+    """The reconciled __eq__/__hash__ contract (see Instance.__hash__):
+    equality is value-based over the facts, hashing is explicitly
+    forbidden, and frozen() is the hashable stand-in."""
+
+    def test_eq_is_value_based(self):
+        # Different construction orders, different delta logs — equal.
+        i = Instance([E(a, b), E(b, c)])
+        j = Instance([E(b, c)])
+        j.add(E(a, b))
+        assert i == j
+        j.discard(E(b, c))
+        assert i != j
+
+    def test_eq_against_plain_sets_both_ways(self):
+        i = Instance([E(a, b)])
+        assert i == {E(a, b)}
+        assert {E(a, b)} == i  # reflected through set's NotImplemented
+        assert i != {E(b, a)}
+
+    def test_eq_ignores_derived_state(self):
+        i = Instance([E(a, b)])
+        j = i.copy()  # copy() drops the delta log entirely
+        assert i.tick == 1 and j.tick == 0
+        assert i == j
+
+    def test_hash_raises_not_identity(self):
+        """Regression: the silent alternative to raising would be the
+        identity-based object.__hash__, which breaks a == b ⇒ hash(a) ==
+        hash(b) for equal-but-distinct instances.  Pin the TypeError and
+        that equal instances really would have collided under identity."""
+        i = Instance([E(a, b)])
+        j = Instance([E(a, b)])
+        assert i == j and i is not j  # identity hashing would split them
+        for victim in (i, j):
+            with pytest.raises(TypeError, match="unhashable"):
+                hash(victim)
+        with pytest.raises(TypeError):
+            {i: 1}
+        with pytest.raises(TypeError):
+            {i} | {j}
+
+    def test_frozen_is_the_hashable_view(self):
+        i = Instance([E(a, b)])
+        j = Instance([E(a, b)])
+        assert hash(i.frozen()) == hash(j.frozen())
+        assert {i.frozen(): "cached"}[j.frozen()] == "cached"
+        # And it is a snapshot: later mutation does not leak into it.
+        snap = i.frozen()
+        i.add(E(b, c))
+        assert E(b, c) not in snap
+
+
 class TestIndexes:
     def test_predicate_index(self):
         inst = Instance([E(a, b), Atom("N", (a,))])

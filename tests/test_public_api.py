@@ -15,6 +15,7 @@ MODULES = [
     "repro.core",
     "repro.generators",
     "repro.analysis",
+    "repro.batch",
     "repro.data",
     "repro.cli",
 ]
