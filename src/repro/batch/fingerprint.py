@@ -151,10 +151,39 @@ def _initial_colours(sigma: Iterable[AnyDependency]) -> dict[str, str]:
     return {p: stable_hash(["init", s]) for p, s in stats.items()}
 
 
-def _refine(
+def colour_refine(initial, contexts):
+    """Generic 1-WL colour refinement, run until the partition stabilises.
+
+    ``initial`` maps each item to a seed colour string; ``contexts`` is a
+    callable that, given the current colouring, returns a dict mapping
+    every item to a JSON-encodable (and already canonically ordered)
+    context.  Each round recolours ``item ← stable_hash([colour,
+    context])``; refinement stops when a round no longer splits the
+    colour partition (at most |items| rounds, usually two or three).
+
+    Shared machinery: :func:`predicate_colours` refines *predicate*
+    colours over the occurs-in structure of a dependency set, and the
+    chase explorer's ``canonical_key`` reuses the same loop to refine
+    *labelled-null* colours over the occurs-in structure of an instance
+    state (see ``repro.chase.explorer``).
+    """
+    colours = dict(initial)
+    classes = len(set(colours.values()))
+    for _ in range(max(1, len(colours))):
+        ctx = contexts(colours)
+        refined = {k: stable_hash([colours[k], ctx[k]]) for k in colours}
+        refined_classes = len(set(refined.values()))
+        colours = refined
+        if refined_classes == classes:
+            break
+        classes = refined_classes
+    return colours
+
+
+def _predicate_contexts(
     sigma: Iterable[AnyDependency], colours: dict[str, str]
-) -> dict[str, str]:
-    """One refinement round: colour ← (colour, multiset of occurrences)."""
+) -> dict[str, list]:
+    """One round's contexts: the multiset of (role, dependency) occurrences."""
     contexts: dict[str, list] = {p: [] for p in colours}
     for dep in sigma:
         code = _dependency_code(dep, colours)
@@ -165,27 +194,18 @@ def _refine(
             role += ["h"] * len(dep.head)
         for r, a in zip(role, atoms):
             contexts[a.predicate].append([r, code])
-    out: dict[str, str] = {}
-    for p, ctx in contexts.items():
+    for ctx in contexts.values():
         ctx.sort(key=lambda c: json.dumps(c, sort_keys=True))
-        out[p] = stable_hash([colours[p], ctx])
-    return out
+    return contexts
 
 
 def predicate_colours(sigma: Iterable[AnyDependency]) -> dict[str, str]:
     """The stable colouring: refinement run until the partition stops
     splitting (at most |predicates| rounds, usually two or three)."""
     deps = list(sigma)
-    colours = _initial_colours(deps)
-    classes = len(set(colours.values()))
-    for _ in range(max(1, len(colours))):
-        refined = _refine(deps, colours)
-        refined_classes = len(set(refined.values()))
-        colours = refined
-        if refined_classes == classes:
-            break
-        classes = refined_classes
-    return colours
+    return colour_refine(
+        _initial_colours(deps), lambda colours: _predicate_contexts(deps, colours)
+    )
 
 
 # -- the fingerprint -----------------------------------------------------------

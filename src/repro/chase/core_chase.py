@@ -14,7 +14,7 @@ universal model, the core chase terminates and produces one (Section 2).
 
 from __future__ import annotations
 
-from ..homomorphism.cores import core
+from ..homomorphism.cores import CoreBudgetExceeded, core
 from ..homomorphism.satisfaction import violations
 from ..model.dependencies import EGD, TGD, DependencySet
 from ..model.instances import Instance
@@ -26,29 +26,45 @@ from .step import Trigger, egd_substitution
 def core_chase_step(
     instance: Instance, sigma: DependencySet, nulls: NullFactory
 ) -> Instance | None:
-    """One core chase step; returns the new instance, or None on ⊥."""
-    union = instance.copy()
-    fired_any = False
-    for dep in sigma:
-        for h in violations(instance, dep):
-            fired_any = True
+    """One core chase step; returns the resulting instance, or None on ⊥.
+
+    The union ``J = ∪ K'`` is built by savepoint-scoped adds on the input
+    itself and the core retraction then consumes it in place
+    (``core(fresh=False)``), so a round costs O(changes) in state
+    management instead of the seed's two full rebuilds (the union copy
+    plus ``core``'s internal copy).  On ⊥ — and on a blown core budget —
+    the savepoint rolls back and the caller's instance is untouched;
+    otherwise the returned instance *is* the input, advanced by one round.
+    """
+    # Materialise the round's triggers first: the union mutates the
+    # instance the violation generators would otherwise be reading.
+    pending = [(dep, h) for dep in sigma for h in violations(instance, dep)]
+    if not pending:
+        return instance
+    base = list(instance)  # each EGD contributes Kγ for the pre-union K
+    sp = instance.savepoint()
+    try:
+        for dep, h in pending:
             if isinstance(dep, TGD):
                 mapping: dict[Term, Term] = {v: h[v] for v in dep.body_variables()}
                 for z in dep.existential:
                     mapping[z] = nulls.fresh()
                 for atom in dep.head:
-                    union.add(atom.apply(mapping))
+                    instance.add(atom.apply(mapping))
             else:
                 gamma = egd_substitution(dep, h)
                 if gamma is None:
+                    instance.rollback(sp)
                     return None  # two distinct constants: J = ⊥
-                # K' = Kγ contributed to the union.
-                union.add_all(
-                    f.apply({gamma.old: gamma.new}) for f in instance
+                instance.add_all(
+                    f.apply({gamma.old: gamma.new}) for f in base
                 )
-    if not fired_any:
-        return instance
-    return core(union)
+        result = core(instance, fresh=False)
+    except CoreBudgetExceeded:
+        instance.rollback(sp)
+        raise
+    instance.release(sp)
+    return result
 
 
 def core_chase(
@@ -72,4 +88,8 @@ def core_chase(
         if nxt is None:
             return ChaseResult(ChaseStatus.FAILURE, None, [], "core")
         current = nxt
+        # The same instance is threaded through every round; nothing reads
+        # its ticks across rounds, so drop the log instead of letting it
+        # pin every union fact and retraction image ever added.
+        current.compact_log()
     return ChaseResult(ChaseStatus.EXCEEDED, current, [], "core")

@@ -76,10 +76,15 @@ class FiringOracle:
         sigma: DependencySet | Sequence[AnyDependency],
         step_variant: str = "standard",
         budget: int = DEFAULT_BUDGET,
+        snapshots: str = "savepoint",
     ) -> None:
         self.deps = list(sigma)
         self.step_variant = step_variant
         self.budget = budget
+        # Witness-engine state-management backend.  Decisions are
+        # byte-identical across backends (differential-tested), so the
+        # shared-cache keys deliberately do not include it.
+        self.snapshots = snapshots
         self._precedes_cache: dict[tuple, FiringDecision] = {}
         self._fires_cache: dict[tuple, FiringDecision] = {}
         self.ever_inexact = False
@@ -104,7 +109,7 @@ class FiringOracle:
             if decision is None:
                 engine = WitnessEngine(
                     r1, r2, (), self.step_variant,
-                    coerce_budget(self.budget),
+                    coerce_budget(self.budget), self.snapshots,
                 )
                 decision = engine.precedes()
                 if shared is not None and _deterministic(decision, engine):
@@ -131,7 +136,7 @@ class FiringOracle:
             if decision is None:
                 engine = WitnessEngine(
                     r1, r2, fulls, self.step_variant,
-                    coerce_budget(self.budget),
+                    coerce_budget(self.budget), self.snapshots,
                 )
                 decision = engine.fires()
                 if shared is not None and _deterministic(decision, engine):

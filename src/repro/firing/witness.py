@@ -42,11 +42,22 @@ historical convention), a :class:`~repro.budget.Budget` is used as-is,
 and fresh budgets are linked to the ambient one of the enclosing
 analysis scope, so a criterion-level deadline or cancellation cuts the
 witness search off mid-pair.
+
+State management is transactional by default (``snapshots="savepoint"``):
+the candidate instance ``K`` is built once per variable-freeze and every
+enumerated candidate — the preimage pattern, the ``J`` overlay, each
+defuser's probe instance — is a savepoint-scoped mutation rolled back in
+O(changes), instead of the per-candidate ``Instance(K0)`` rebuilds and
+``K.copy()`` forks the ``snapshots="copy"`` reference backend still
+performs.  Both backends run the *same* enumeration and charge the
+budget at the same points, so they produce byte-identical decisions
+(witnesses included); the differential suite asserts it.
 """
 
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -64,6 +75,8 @@ MAX_PARTITION_VARS = 7       # full partition enumeration up to Bell(7)=877
 MAX_LABEL_CLASSES = 6        # label (null/const) enumeration up to 2^6
 MAX_PREIMAGE_POSITIONS = 3   # per-atom preimage pattern enumeration
 DEFAULT_BUDGET = 200_000     # unification/instance-check budget per pair
+
+SNAPSHOT_BACKENDS = ("savepoint", "copy")
 
 
 @dataclass
@@ -154,7 +167,13 @@ class WitnessEngine:
         fulls: Sequence[AnyDependency] = (),
         step_variant: str = "standard",
         budget: Budget | int = DEFAULT_BUDGET,
+        snapshots: str = "savepoint",
     ) -> None:
+        if snapshots not in SNAPSHOT_BACKENDS:
+            raise ValueError(
+                f"unknown snapshot backend {snapshots!r}; "
+                f"known: {SNAPSHOT_BACKENDS}"
+            )
         # Rename apart so self-loops and shared variable names are safe.
         self.r1 = r1.rename_variables("1")
         self.r2 = r2.rename_variables("2")
@@ -163,6 +182,23 @@ class WitnessEngine:
         self.fulls = [d.rename_variables(f"f{i}") for i, d in enumerate(fulls)]
         self.step_variant = step_variant
         self.budget = coerce_budget(budget, default_steps=DEFAULT_BUDGET)
+        self.snapshots = snapshots
+
+    @contextmanager
+    def _scratch(self, inst: Instance):
+        """A scope in which ``inst`` may be freely mutated and is restored
+        on exit: an undo-log savepoint (savepoint backend) or a throwaway
+        fork (copy backend).  Callers must not hold live homomorphism
+        generators over ``inst`` across the scope — the savepoint backend
+        mutates it in place."""
+        if self.snapshots == "savepoint":
+            sp = inst.savepoint()
+            try:
+                yield inst
+            finally:
+                inst.rollback(sp)
+        else:
+            yield inst.copy()
 
     # -- public API ------------------------------------------------------
 
@@ -272,12 +308,18 @@ class WitnessEngine:
                 gamma = (rhs_t, lhs_t)
             new_atoms = []
 
+        # The savepoint backend materialises the frozen body once per
+        # freeze and scopes every candidate mutation below it; the copy
+        # backend rebuilds ``Instance(K0)`` per candidate (the reference
+        # the differential suite compares against).
+        Kbase = Instance(K0) if self.snapshots == "savepoint" else None
         yield from self._enumerate_h2(
-            K0, new_atoms, gamma, h1, supply, check_defusal
+            Kbase, K0, new_atoms, gamma, h1, supply, check_defusal
         )
 
     def _enumerate_h2(
         self,
+        Kbase: Instance | None,
         K0: list[Atom],
         new_atoms: list[Atom],
         gamma: tuple[Term, Term] | None,
@@ -304,12 +346,13 @@ class WitnessEngine:
                 if not self.budget.charge():
                     return
                 yield from self._complete_witness(
-                    K0, new_atoms, gamma, h1, dict(g), free, supply,
+                    Kbase, K0, new_atoms, gamma, h1, dict(g), free, supply,
                     check_defusal,
                 )
 
     def _complete_witness(
         self,
+        Kbase: Instance | None,
         K0: list[Atom],
         new_atoms: list[Atom],
         gamma: tuple[Term, Term] | None,
@@ -343,15 +386,16 @@ class WitnessEngine:
                 for v, t in zip(unbound, combo):
                     h2c[v] = t
                 yield from self._complete_with_bound(
-                    K0, new_atoms, gamma, h1, h2c, free, check_defusal
+                    Kbase, K0, new_atoms, gamma, h1, h2c, free, check_defusal
                 )
             return
         yield from self._complete_with_bound(
-            K0, new_atoms, gamma, h1, dict(h2), free, check_defusal
+            Kbase, K0, new_atoms, gamma, h1, dict(h2), free, check_defusal
         )
 
     def _complete_with_bound(
         self,
+        Kbase: Instance | None,
         K0: list[Atom],
         new_atoms: list[Atom],
         gamma: tuple[Term, Term] | None,
@@ -385,61 +429,128 @@ class WitnessEngine:
                 per_atom.append(options)
             preimage_choices = [list(c) for c in itertools.product(*per_atom)]
 
+        transactional = Kbase is not None
         for preimages in preimage_choices:
             if not self.budget.charge():
                 return
-            K = Instance(K0)
-            K.add_all(preimages)
-            if gamma is None:
-                J = K.copy()
-                J.add_all(new_atoms)
+            if transactional:
+                sp = Kbase.savepoint()
+                K = Kbase
             else:
-                old, new = gamma
-                J = K.apply({old: new})
-            # Free images must actually be present in J (preimages merge
-            # into them); guaranteed by construction, asserted cheaply.
-            if any(img not in J for img in free_images):
-                continue
-            witness = self._check_witness(K, J, h1, h2)
-            if witness is None:
-                continue
-            if not check_defusal:
-                yield witness, False
-                return
-            survivor = self._defusal(witness)
-            if survivor is not None:
-                yield survivor, False
-                return
-            yield None, True
+                sp = None
+                K = Instance(K0)
+            try:
+                K.add_all(preimages)
+                # Build J: an overlay on K under a nested savepoint, or a
+                # fork (copy backend).  Either way the same checks run and
+                # the budget is charged at the same points.
+                if transactional:
+                    spJ = K.savepoint()
+                    if gamma is None:
+                        K.add_all(new_atoms)
+                    else:
+                        K.merge_terms(gamma[0], gamma[1])
+                    J = K
+                else:
+                    if gamma is None:
+                        J = K.copy()
+                        J.add_all(new_atoms)
+                    else:
+                        J = K.apply({gamma[0]: gamma[1]})
+                    spJ = None
+                # Free images must actually be present in J (preimages
+                # merge into them); guaranteed by construction, asserted
+                # cheaply.
+                inst_body: list[Atom] | None = None
+                ok = all(img in J for img in free_images)
+                if ok:
+                    if not self.budget.charge():
+                        ok = False
+                    else:
+                        inst_body = [a.apply(h2) for a in self.r2.body]
+                        ok = self._witness_checks_J(J, inst_body, h2)
+                if spJ is not None:
+                    K.rollback(spJ)
+                if not ok or inst_body is None:
+                    continue
+                if not self._witness_checks_K(K, inst_body, h1):
+                    continue
+                witness = self._materialize(K, new_atoms, gamma, h1, h2)
+                if not check_defusal:
+                    yield witness, False
+                    return
+                survivor = self._defusal(witness)
+                if survivor is not None:
+                    yield survivor, False
+                    return
+                yield None, True
+            finally:
+                if sp is not None:
+                    Kbase.rollback(sp)
 
     # -- conditions (i)-(iii) -------------------------------------------------
+
+    def _witness_checks_J(
+        self, J: Instance, inst_body: list[Atom], h2: dict
+    ) -> bool:
+        """The conditions that read the *J* state."""
+        # (iii) needs h2(Body(r2)) ⊆ J.
+        if not all(a in J for a in inst_body):
+            return False
+        # (iii): J must violate h2(r2).  Under the oblivious step semantics
+        # (c-stratification) a TGD trigger "fires" regardless of head
+        # satisfaction, so (iii) degenerates to the new-trigger condition
+        # checked in :meth:`_witness_checks_K`; EGD applicability stays the
+        # same.
+        if isinstance(self.r2, EGD):
+            if h2[self.r2.lhs] is h2[self.r2.rhs]:
+                return False
+        elif self.step_variant != "oblivious":
+            seed = {v: h2[v] for v in self.r2.frontier()}
+            if find_homomorphism(self.r2.head, J, seed=seed, frozen_nulls=True):
+                return False
+        return True
+
+    def _witness_checks_K(
+        self, K: Instance, inst_body: list[Atom], h1: dict
+    ) -> bool:
+        """The conditions that read the *K* state."""
+        # (i) via newness: some instantiated body atom must be absent from K
+        # (otherwise (i) and (iii) cannot both hold; see module docstring).
+        if all(a in K for a in inst_body):
+            return False
+        # (ii): the r1 step must be applicable on K.
+        return self._step_applicable(K, h1)
+
+    def _materialize(
+        self,
+        K: Instance,
+        new_atoms: list[Atom],
+        gamma: tuple[Term, Term] | None,
+        h1: dict,
+        h2: dict,
+    ) -> Witness:
+        """A witness holding instances detached from the enumeration state
+        (the savepoint backend keeps mutating ``K`` after this returns)."""
+        K_snap = K.copy() if self.snapshots == "savepoint" else K
+        if gamma is None:
+            J_snap = K_snap.copy()
+            J_snap.add_all(new_atoms)
+        else:
+            J_snap = K_snap.apply({gamma[0]: gamma[1]})
+        return Witness(K_snap, J_snap, dict(h1), dict(h2), self.orig_r1, self.orig_r2)
 
     def _check_witness(
         self, K: Instance, J: Instance, h1: dict, h2: dict
     ) -> Witness | None:
+        """Conditions (i)-(iii) over already-materialised K and J (the
+        defusal saturation loop re-checks its evolving witness this way)."""
         if not self.budget.charge():
             return None
         inst_body = [a.apply(h2) for a in self.r2.body]
-        # (iii) needs h2(Body(r2)) ⊆ J.
-        if not all(a in J for a in inst_body):
+        if not self._witness_checks_J(J, inst_body, h2):
             return None
-        # (i) via newness: some instantiated body atom must be absent from K
-        # (otherwise (i) and (iii) cannot both hold; see module docstring).
-        if all(a in K for a in inst_body):
-            return None
-        # (iii): J must violate h2(r2).  Under the oblivious step semantics
-        # (c-stratification) a TGD trigger "fires" regardless of head
-        # satisfaction, so (iii) degenerates to the new-trigger condition
-        # already checked above; EGD applicability stays the same.
-        if isinstance(self.r2, EGD):
-            if h2[self.r2.lhs] is h2[self.r2.rhs]:
-                return None
-        elif self.step_variant != "oblivious":
-            seed = {v: h2[v] for v in self.r2.frontier()}
-            if find_homomorphism(self.r2.head, J, seed=seed, frozen_nulls=True):
-                return None
-        # (ii): the r1 step must be applicable on K.
-        if not self._step_applicable(K, h1):
+        if not self._witness_checks_K(K, inst_body, h1):
             return None
         return Witness(K, J, dict(h1), dict(h2), self.orig_r1, self.orig_r2)
 
@@ -469,7 +580,11 @@ class WitnessEngine:
         variable merges, which the outer partition loop provides, or a
         flipped substitution direction, which we try here).
         """
-        K, J = witness.K.copy(), witness.J.copy()
+        # The witness's instances are detached per-candidate state (see
+        # :meth:`_materialize`), so the saturation loop may grow them in
+        # place: on failure the witness is discarded, on success they back
+        # the surviving witness.
+        K, J = witness.K, witness.J
         h2 = witness.h2
         # Saturation adds full-TGD heads over a fixed term domain, so it is
         # finitely bounded; if the generous loop bound is ever hit we keep
@@ -499,19 +614,23 @@ class WitnessEngine:
         for r3 in self.fulls:
             if any(a.predicate not in k_preds for a in r3.body):
                 continue  # its body cannot map into K at all
+            # Materialise the homomorphism list up front: the probes below
+            # mutate K under a savepoint, which would invalidate a live
+            # enumeration over its indexes.
             if isinstance(r3, TGD):
-                for h3 in find_homomorphisms(r3.body, K, limit=None):
+                for h3 in list(find_homomorphisms(r3.body, K, limit=None)):
                     if not self.budget.charge():
                         return None
                     inst_head = [a.apply(h3) for a in r3.head]
                     if all(a in K for a in inst_head):
                         continue  # not applicable (standard step)
-                    Jp = K.copy()
-                    Jp.add_all(inst_head)
-                    if satisfies_instantiated(Jp, self.r2, h2):
+                    with self._scratch(K) as Jp:
+                        Jp.add_all(inst_head)
+                        defused = satisfies_instantiated(Jp, self.r2, h2)
+                    if defused:
                         return ("tgd", r3, h3)
             else:
-                for h3 in find_homomorphisms(r3.body, K, limit=None):
+                for h3 in list(find_homomorphisms(r3.body, K, limit=None)):
                     if not self.budget.charge():
                         return None
                     t1, t2 = h3[r3.lhs], h3[r3.rhs]
@@ -546,8 +665,12 @@ class WitnessEngine:
         if not directions:
             return True  # both constants: ⊥, defuses
         for old, new in directions:
-            Jp = K.apply({old: new})
-            if not satisfies_instantiated(Jp, self.r2, h2):
+            # ``old`` is a null (``_egd_directions`` guarantees it), so the
+            # substitution is an in-place merge under the scratch scope.
+            with self._scratch(K) as Jp:
+                Jp.merge_terms(old, new)
+                sat = satisfies_instantiated(Jp, self.r2, h2)
+            if not sat:
                 return False
         return True
 
@@ -560,9 +683,10 @@ def decide_precedes(
     r2: AnyDependency,
     step_variant: str = "standard",
     budget: Budget | int = DEFAULT_BUDGET,
+    snapshots: str = "savepoint",
 ) -> FiringDecision:
     """Decide ``r1 ≺ r2`` (chase-graph edge)."""
-    return WitnessEngine(r1, r2, (), step_variant, budget).precedes()
+    return WitnessEngine(r1, r2, (), step_variant, budget, snapshots).precedes()
 
 
 def decide_fires(
@@ -571,6 +695,9 @@ def decide_fires(
     fulls: Iterable[AnyDependency],
     step_variant: str = "standard",
     budget: Budget | int = DEFAULT_BUDGET,
+    snapshots: str = "savepoint",
 ) -> FiringDecision:
     """Decide ``r1 < r2`` (firing-graph edge) w.r.t. the full dependencies."""
-    return WitnessEngine(r1, r2, tuple(fulls), step_variant, budget).fires()
+    return WitnessEngine(
+        r1, r2, tuple(fulls), step_variant, budget, snapshots
+    ).fires()

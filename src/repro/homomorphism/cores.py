@@ -12,6 +12,16 @@ instance is its own core.  This is complete: a non-core instance always
 admits a retraction eliminating at least one null (Fagin–Kolaitis–Popa,
 "Data exchange: getting to the core").
 
+Each retraction is applied *in place* in O(facts touched): the retraction
+homomorphism only moves the facts mentioning a moved null, so rewriting
+those through ``discard``/``add`` beats the full ``Instance.apply``
+rebuild the seed performed per round.  ``core(fresh=False)`` extends the
+same economy to the caller: the input itself is consumed (the core chase
+runs it under an :meth:`Instance.savepoint` scope, so a blown budget
+rolls back cleanly), while the default ``fresh=True`` keeps the
+historical contract — the input is never modified and the result is
+always a fresh instance.
+
 Core computation is NP-hard in general; this implementation is exact, with a
 configurable search budget so callers can treat blow-ups like timeouts.
 """
@@ -20,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..matching.engine import Homomorphism
 from ..model.atoms import Atom
 from ..model.instances import Instance
 from ..model.terms import Null
@@ -44,8 +55,11 @@ class _BudgetedSearch:
             raise CoreBudgetExceeded
 
 
-def _try_eliminate(instance: Instance, victim: Null, search: _BudgetedSearch) -> Instance | None:
-    """Retract ``instance`` into its victim-free part if possible."""
+def _find_retraction(
+    instance: Instance, victim: Null, search: _BudgetedSearch
+) -> Homomorphism | None:
+    """A homomorphism retracting ``instance`` into its victim-free part,
+    or None.  Pure — the instance is not modified."""
     target_facts = [f for f in instance if victim not in f.args]
     if len(target_facts) == len(instance):
         # The victim occurs in no fact (cannot happen with indexes in sync),
@@ -54,28 +68,55 @@ def _try_eliminate(instance: Instance, victim: Null, search: _BudgetedSearch) ->
     source = sorted(instance, key=str)
     search.charge(len(source))
     for h in find_homomorphisms(source, target_facts, limit=1):
-        return instance.apply(h)
+        return h
     return None
 
 
-def core(instance: Instance, budget: int = 2_000_000) -> Instance:
+def _apply_retraction(instance: Instance, h: Homomorphism) -> None:
+    """Replace ``instance`` by its image under ``h`` **in place**.
+
+    Only the facts mentioning a moved null change, so the cost is
+    O(facts touched), not O(|I|).  ``h`` is a *simultaneous* substitution:
+    every affected fact is discarded before any image is added, otherwise
+    an image colliding with a not-yet-rewritten fact would be lost.
+    """
+    moved = [t for t, img in h.items() if isinstance(t, Null) and img is not t]
+    affected: set[Atom] = set()
+    for n in moved:
+        affected |= instance.with_term(n)
+    images = [f.apply(h) for f in affected]
+    for f in affected:
+        instance.discard(f)
+    instance.add_all(images)
+
+
+def core(
+    instance: Instance, budget: int = 2_000_000, fresh: bool = True
+) -> Instance:
     """Compute ``core(J)``.
 
     ``budget`` roughly caps the work done across retraction rounds;
     :class:`CoreBudgetExceeded` is raised when exhausted (callers treat this
-    like a timeout).
+    like a timeout).  With ``fresh`` (the default) the input is never
+    modified and the result is a new instance; ``fresh=False`` consumes
+    the input in place and returns it — the caller owns any transactional
+    scope around it.
     """
-    current = instance.copy()
     search = _BudgetedSearch(budget)
+    current = instance
     progress = True
     while progress:
         progress = False
         for victim in sorted(current.nulls(), key=lambda n: n.label):
-            smaller = _try_eliminate(current, victim, search)
-            if smaller is not None:
-                current = smaller
+            h = _find_retraction(current, victim, search)
+            if h is not None:
+                if fresh and current is instance:
+                    current = instance.copy()
+                _apply_retraction(current, h)
                 progress = True
                 break
+    if fresh and current is instance:
+        return instance.copy()
     return current
 
 
@@ -83,7 +124,7 @@ def is_core(instance: Instance, budget: int = 2_000_000) -> bool:
     """True iff the instance admits no proper retraction."""
     search = _BudgetedSearch(budget)
     for victim in sorted(instance.nulls(), key=lambda n: n.label):
-        if _try_eliminate(instance, victim, search) is not None:
+        if _find_retraction(instance, victim, search) is not None:
             return False
     return True
 

@@ -26,6 +26,15 @@ seeding the search with each (atom, new fact) anchor.  A homomorphism with
 body atoms can anchor it more than once); consumers dedupe — the chase
 runner through its trigger-seen set, the saturation loop through the
 instance membership check.
+
+The engine borrows the instance's live buckets (``_pred_bucket`` /
+``_pos_slots``) for the duration of one enumeration; they are valid until
+the instance's next mutation, and an :meth:`Instance.rollback` counts as
+a mutation (it restores the same bucket dictionaries to their prior
+contents).  Transactional callers therefore must not hold a live
+enumeration over an instance across a savepoint scope that mutates it —
+materialise the homomorphism list first, as the witness engine's defusal
+probes do (DESIGN.md §5).
 """
 
 from __future__ import annotations

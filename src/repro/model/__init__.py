@@ -10,7 +10,13 @@ from .atoms import (
     atoms_variables,
 )
 from .dependencies import EGD, TGD, AnyDependency, Dependency, DependencySet, dependency_set
-from .instances import InconsistencyError, Instance, database, instance_from_tuples
+from .instances import (
+    InconsistencyError,
+    Instance,
+    Savepoint,
+    database,
+    instance_from_tuples,
+)
 from .parser import (
     ParseError,
     parse_dependencies,
@@ -47,6 +53,7 @@ __all__ = [
     "dependency_set",
     "InconsistencyError",
     "Instance",
+    "Savepoint",
     "database",
     "instance_from_tuples",
     "ParseError",

@@ -27,7 +27,21 @@ The public accessors :meth:`with_predicate` and :meth:`with_term` return
 mutates the instance without hitting "set changed size during iteration".
 Internal hot paths (the matching engine) use the borrowing accessors
 ``_pred_bucket`` / ``_pos_bucket``, whose results are only valid until the
-next mutation and must never be mutated by the caller.
+next mutation — a :meth:`rollback` counts as a mutation — and must never
+be mutated by the caller.
+
+**Transactions.**  Branching searches (the chase explorer, the witness
+engine, core computation) need to try a step and undo it.  Instead of
+paying ``copy()`` — O(|I|) per branch — they take a :meth:`savepoint`,
+mutate freely, and :meth:`rollback`: every :meth:`add` and
+:meth:`discard` performed while at least one savepoint is active appends
+an inverse operation to an undo log, and rollback replays the inverses in
+reverse, restoring the fact set, all three indexes *and* the delta-log
+tick in O(changes since the savepoint).  Savepoints nest (DFS takes one
+per branch); each token must be rolled back or :meth:`release`-d exactly
+once, innermost first.  ``copy()`` remains the right tool for a fork that
+must outlive its parent (and as the reference backend the differential
+suite holds the undo log against).  See DESIGN.md §5.
 """
 
 from __future__ import annotations
@@ -38,6 +52,26 @@ from .atoms import Atom
 from .terms import Constant, GroundTerm, Null, Term, Variable
 
 _EMPTY_SET: frozenset[Atom] = frozenset()
+
+# Undo-log entry kinds (first element of each entry tuple).
+_UNDO_ADD = 0      # (kind, fact, grown_slots) — undone by un-indexing the fact
+_UNDO_DISCARD = 1  # (kind, fact)              — undone by re-indexing the fact
+
+
+class Savepoint:
+    """A point in an instance's undo log that :meth:`Instance.rollback`
+    can restore.  Opaque; obtained from :meth:`Instance.savepoint`."""
+
+    __slots__ = ("_undo_len", "_log_len", "_live")
+
+    def __init__(self, undo_len: int, log_len: int) -> None:
+        self._undo_len = undo_len
+        self._log_len = log_len
+        self._live = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._live else "consumed"
+        return f"Savepoint(undo={self._undo_len}, tick={self._log_len}, {state})"
 
 
 class InconsistencyError(Exception):
@@ -50,7 +84,10 @@ class InconsistencyError(Exception):
 class Instance:
     """A mutable set of facts with predicate, position and term indexes."""
 
-    __slots__ = ("_facts", "_by_predicate", "_by_term", "_by_pos", "_log")
+    __slots__ = (
+        "_facts", "_by_predicate", "_by_term", "_by_pos", "_log",
+        "_undo", "_sp_stack",
+    )
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._facts: set[Atom] = set()
@@ -61,36 +98,37 @@ class Instance:
         self._by_pos: dict[str, list[dict[Term, set[Atom]]]] = {}
         # Monotone delta log; see the module docstring.
         self._log: list[Atom] = []
+        # Undo log: None unless at least one savepoint is active, so the
+        # non-transactional hot path pays one None-check per mutation.
+        self._undo: list[tuple] | None = None
+        self._sp_stack: list[Savepoint] = []
         for f in facts:
             self.add(f)
 
-    # -- mutation ---------------------------------------------------------
+    # -- index maintenance (shared by add/discard and the undo replay) -----
 
-    def add(self, fact: Atom) -> bool:
-        """Add a fact; returns True if it was new."""
-        if not fact.is_fact:
-            raise ValueError(f"{fact} contains variables and is not a fact")
-        if fact in self._facts:
-            return False
+    def _index_insert(self, fact: Atom) -> int:
+        """Enter ``fact`` into the fact set and all three indexes.
+
+        Returns how many per-position slots the fact's predicate gained
+        (> 0 only for a predicate never seen at this arity) — the undo log
+        needs it to shrink ``_by_pos`` back exactly.
+        """
         self._facts.add(fact)
         self._by_predicate.setdefault(fact.predicate, set()).add(fact)
         slots = self._by_pos.setdefault(fact.predicate, [])
+        grown = len(fact.args) - len(slots)
         while len(slots) < len(fact.args):
             slots.append({})
         for i, t in enumerate(fact.args):
             self._by_term.setdefault(t, set()).add(fact)
             slots[i].setdefault(t, set()).add(fact)
-        self._log.append(fact)
-        return True
+        return grown if grown > 0 else 0
 
-    def add_all(self, facts: Iterable[Atom]) -> int:
-        """Add many facts; returns how many were new."""
-        return sum(1 for f in facts if self.add(f))
-
-    def discard(self, fact: Atom) -> bool:
-        """Remove a fact if present; returns True if it was there."""
-        if fact not in self._facts:
-            return False
+    def _index_remove(self, fact: Atom) -> None:
+        """Remove ``fact`` from the fact set and all three indexes,
+        deleting buckets that become empty (slot lists are kept — their
+        length is managed only by :meth:`_index_insert`/undo)."""
         self._facts.discard(fact)
         bucket = self._by_predicate.get(fact.predicate)
         if bucket is not None:
@@ -111,6 +149,32 @@ class Instance:
                     cell.discard(fact)
                     if not cell:
                         del slots[i][t]
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Add a fact; returns True if it was new."""
+        if not fact.is_fact:
+            raise ValueError(f"{fact} contains variables and is not a fact")
+        if fact in self._facts:
+            return False
+        grown = self._index_insert(fact)
+        self._log.append(fact)
+        if self._undo is not None:
+            self._undo.append((_UNDO_ADD, fact, grown))
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; returns how many were new."""
+        return sum(1 for f in facts if self.add(f))
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove a fact if present; returns True if it was there."""
+        if fact not in self._facts:
+            return False
+        self._index_remove(fact)
+        if self._undo is not None:
+            self._undo.append((_UNDO_DISCARD, fact))
         return True
 
     def merge_terms(self, old: Null, new: GroundTerm) -> None:
@@ -130,6 +194,94 @@ class Instance:
         for fact in touched:
             self.discard(fact)
             self.add(fact.apply(mapping))
+
+    # -- savepoints ---------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Open a transaction scope: remember the current state cheaply.
+
+        Until the returned token is consumed by :meth:`rollback` or
+        :meth:`release`, every mutation is recorded in the undo log.
+        Savepoints nest; tokens must be consumed innermost-first.
+        """
+        if self._undo is None:
+            self._undo = []
+        sp = Savepoint(len(self._undo), len(self._log))
+        self._sp_stack.append(sp)
+        return sp
+
+    def rollback(self, sp: Savepoint) -> None:
+        """Restore the exact state :meth:`savepoint` saw, in O(changes).
+
+        Facts, all three indexes and the delta-log tick are restored;
+        savepoints opened after ``sp`` (and ``sp`` itself) are consumed.
+        Borrowed buckets (``_pred_bucket``/``_pos_bucket``) obtained since
+        the savepoint are invalidated, like by any other mutation.
+        """
+        self._consume(sp)
+        undo = self._undo
+        assert undo is not None
+        for entry in reversed(undo[sp._undo_len:]):
+            if entry[0] == _UNDO_ADD:
+                self._index_remove(entry[1])
+                grown = entry[2]
+                if grown:
+                    # This add created those slots, and every fact that
+                    # could occupy them was added later — hence already
+                    # unwound above — so they are empty now.
+                    slots = self._by_pos[entry[1].predicate]
+                    del slots[-grown:]
+                    if not slots:
+                        del self._by_pos[entry[1].predicate]
+            else:
+                self._index_insert(entry[1])
+        del undo[sp._undo_len:]
+        del self._log[sp._log_len:]
+        if not self._sp_stack:
+            self._undo = None
+
+    def release(self, sp: Savepoint) -> None:
+        """Consume ``sp`` *keeping* the changes made since (commit).
+
+        Inner savepoints still open are consumed too.  The recorded undo
+        entries are retained while an outer savepoint remains active — its
+        rollback still covers the released scope — and dropped otherwise.
+        """
+        self._consume(sp)
+        if not self._sp_stack:
+            self._undo = None
+
+    def _consume(self, sp: Savepoint) -> None:
+        if not sp._live or sp not in self._sp_stack:
+            raise ValueError(
+                "savepoint is not active on this instance (already rolled "
+                "back, released, or taken from another instance)"
+            )
+        while self._sp_stack:
+            top = self._sp_stack.pop()
+            top._live = False
+            if top is sp:
+                return
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while at least one savepoint is active."""
+        return bool(self._sp_stack)
+
+    def compact_log(self) -> None:
+        """Drop the delta log; the tick resets to 0.
+
+        For long-lived instances whose consumers hold no outstanding tick
+        snapshots (the core chase between rounds): without compaction the
+        log would pin every fact ever added, including long-retracted
+        ones.  Disallowed while a savepoint is active — rollback relies
+        on log positions recorded at the savepoint.
+        """
+        if self._sp_stack:
+            raise RuntimeError(
+                "cannot compact the delta log inside a transaction"
+            )
+        self._log.clear()
 
     # -- delta log ---------------------------------------------------------
 
@@ -202,6 +354,7 @@ class Instance:
         out = Instance()
         # Rebuild indexes by direct copying (faster than re-adding).  The
         # delta log starts empty: ticks are relative to each instance.
+        # Savepoints do not transfer: the copy is its own transaction scope.
         out._facts = set(self._facts)
         out._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
         out._by_term = {t: set(s) for t, s in self._by_term.items()}

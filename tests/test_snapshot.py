@@ -1,0 +1,322 @@
+"""Transactional instances: the savepoint/rollback undo-log protocol.
+
+The heart of this suite is a property-based differential check: random
+scripts of ``add``/``discard``/``merge_terms`` interleaved with *nested*
+savepoints run against one instance, and every rollback must restore the
+exact state a pristine ``copy()`` taken at the savepoint recorded — the
+fact set, all three indexes (predicate, position, term), the delta-log
+tick and the ``added_since`` tail.  ``copy()`` is thereby the reference
+backend the undo log is held against, exactly as DESIGN.md §5 frames it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import Atom, Instance
+from repro.model.terms import Constant, Null
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+PREDS = (("P", 1), ("Q", 2), ("R", 3))
+
+
+def _terms_pool():
+    return [a, b, c] + [Null(i) for i in range(1, 9)]
+
+
+def random_fact(rng: random.Random) -> Atom:
+    pred, arity = rng.choice(PREDS)
+    pool = _terms_pool()
+    return Atom(pred, tuple(rng.choice(pool) for _ in range(arity)))
+
+
+def assert_state_equals(inst: Instance, pristine: Instance, tick: int, log: list) -> None:
+    """Exact equality of facts, all three indexes, tick and log tail."""
+    assert inst._facts == pristine._facts
+    assert inst._by_predicate == pristine._by_predicate
+    assert inst._by_term == pristine._by_term
+    assert inst._by_pos == pristine._by_pos
+    assert inst.tick == tick
+    assert list(inst._log) == log
+    assert list(inst.added_since(0)) == log
+
+
+class TestSavepointProtocol:
+    def test_rollback_restores_add_and_merge(self):
+        inst = Instance([Atom("Q", (a, Null(1)))])
+        pristine, tick, log = inst.copy(), inst.tick, list(inst._log)
+        sp = inst.savepoint()
+        inst.add(Atom("P", (b,)))
+        inst.merge_terms(Null(1), b)
+        inst.discard(Atom("Q", (a, b)))
+        inst.rollback(sp)
+        assert_state_equals(inst, pristine, tick, log)
+        assert not inst.in_transaction
+
+    def test_new_predicate_slots_shrink_back(self):
+        inst = Instance()
+        pristine = inst.copy()
+        sp = inst.savepoint()
+        inst.add(Atom("R", (a, b, c)))
+        inst.rollback(sp)
+        assert_state_equals(inst, pristine, 0, [])
+        assert inst._by_pos == {}
+
+    def test_nested_rollback_innermost_first(self):
+        inst = Instance([Atom("P", (a,))])
+        outer_copy, outer_tick = inst.copy(), inst.tick
+        sp1 = inst.savepoint()
+        inst.add(Atom("P", (b,)))
+        mid_copy, mid_tick = inst.copy(), inst.tick
+        sp2 = inst.savepoint()
+        inst.add(Atom("P", (c,)))
+        inst.rollback(sp2)
+        assert inst._facts == mid_copy._facts and inst.tick == mid_tick
+        inst.rollback(sp1)
+        assert inst._facts == outer_copy._facts and inst.tick == outer_tick
+
+    def test_rollback_to_outer_consumes_inner(self):
+        inst = Instance()
+        sp1 = inst.savepoint()
+        sp2 = inst.savepoint()
+        inst.add(Atom("P", (a,)))
+        inst.rollback(sp1)
+        assert len(inst) == 0 and not inst.in_transaction
+        with pytest.raises(ValueError):
+            inst.rollback(sp2)
+
+    def test_release_keeps_changes(self):
+        inst = Instance()
+        sp = inst.savepoint()
+        inst.add(Atom("P", (a,)))
+        inst.release(sp)
+        assert Atom("P", (a,)) in inst
+        assert inst._undo is None  # fast path restored
+
+    def test_release_inside_outer_rollback_still_undone(self):
+        inst = Instance()
+        sp1 = inst.savepoint()
+        sp2 = inst.savepoint()
+        inst.add(Atom("P", (a,)))
+        inst.release(sp2)  # commit into the outer scope...
+        inst.rollback(sp1)  # ...which then rolls the whole thing back
+        assert len(inst) == 0
+
+    def test_consumed_token_rejected(self):
+        inst = Instance()
+        sp = inst.savepoint()
+        inst.rollback(sp)
+        for op in (inst.rollback, inst.release):
+            with pytest.raises(ValueError):
+                op(sp)
+
+    def test_foreign_token_rejected(self):
+        inst, other = Instance(), Instance()
+        sp = other.savepoint()
+        with pytest.raises(ValueError):
+            inst.rollback(sp)
+
+    def test_copy_does_not_inherit_transaction(self):
+        inst = Instance()
+        inst.savepoint()
+        inst.add(Atom("P", (a,)))
+        forked = inst.copy()
+        assert not forked.in_transaction
+        assert forked._undo is None
+
+    def test_merge_terms_relogging_survives_rollback(self):
+        # merge_terms is a discard followed by an add; both re-enter the
+        # delta log and both must unwind.
+        inst = Instance(
+            [
+                Atom("Q", (Null(1), Null(2))),  # rewrites to a new fact
+                Atom("Q", (Null(1), b)),        # collapses into Q(a, b)
+                Atom("Q", (a, b)),
+            ]
+        )
+        pristine, tick, log = inst.copy(), inst.tick, list(inst._log)
+        sp = inst.savepoint()
+        inst.merge_terms(Null(1), a)
+        assert len(inst) == 2
+        # Only the genuinely new rewrite re-enters the delta log; the
+        # collapse into the pre-existing Q(a, b) does not.
+        assert list(inst.added_since(tick)) == [Atom("Q", (a, Null(2)))]
+        inst.rollback(sp)
+        assert_state_equals(inst, pristine, tick, log)
+
+
+class TestSavepointProperty:
+    """Random mutation scripts with nested savepoints vs pristine copies."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_script(self, seed):
+        rng = random.Random(seed)
+        inst = Instance(random_fact(rng) for _ in range(rng.randint(0, 12)))
+        # Stack of (savepoint, pristine copy, tick, log snapshot).
+        stack = []
+        for _ in range(rng.randint(20, 120)):
+            roll = rng.random()
+            if roll < 0.12:
+                stack.append(
+                    (inst.savepoint(), inst.copy(), inst.tick, list(inst._log))
+                )
+            elif roll < 0.22 and stack:
+                sp, pristine, tick, log = stack.pop()
+                if rng.random() < 0.5:
+                    inst.rollback(sp)
+                    assert_state_equals(inst, pristine, tick, log)
+                else:
+                    inst.release(sp)
+            elif roll < 0.60:
+                inst.add(random_fact(rng))
+            elif roll < 0.80:
+                live = list(inst)
+                if live:
+                    inst.discard(rng.choice(live))
+            else:
+                nulls = sorted(inst.nulls(), key=lambda n: n.label)
+                if nulls:
+                    old = rng.choice(nulls)
+                    new = rng.choice([t for t in _terms_pool() if t is not old])
+                    inst.merge_terms(old, new)
+        while stack:
+            sp, pristine, tick, log = stack.pop()
+            inst.rollback(sp)
+            assert_state_equals(inst, pristine, tick, log)
+        assert not inst.in_transaction
+        assert inst._undo is None
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_added_since_matches_copy_taken_at_savepoint(self, seed):
+        """After a rollback, a consumer that snapshotted the tick at the
+        savepoint sees exactly the same delta as against the pristine copy
+        (i.e. nothing) — the semi-naive discovery contract."""
+        rng = random.Random(1000 + seed)
+        inst = Instance(random_fact(rng) for _ in range(8))
+        tick = inst.tick
+        sp = inst.savepoint()
+        for _ in range(25):
+            op = rng.random()
+            if op < 0.6:
+                inst.add(random_fact(rng))
+            elif op < 0.8:
+                live = list(inst)
+                if live:
+                    inst.discard(rng.choice(live))
+            else:
+                nulls = sorted(inst.nulls(), key=lambda n: n.label)
+                if nulls:
+                    old = rng.choice(nulls)
+                    new = rng.choice([t for t in _terms_pool() if t is not old])
+                    inst.merge_terms(old, new)
+        inst.rollback(sp)
+        assert list(inst.added_since(tick)) == []
+
+
+class TestBorrowingAccessorsAcrossRollback:
+    def test_buckets_reflect_rolled_back_state(self):
+        """The matching engine's borrowing accessors, re-fetched after a
+        rollback, see exactly the pre-savepoint buckets."""
+        inst = Instance([Atom("Q", (a, b)), Atom("Q", (a, c))])
+        before_pred = set(inst._pred_bucket("Q"))
+        before_pos = set(inst._pos_bucket("Q", 0, a))
+        sp = inst.savepoint()
+        inst.add(Atom("Q", (a, a)))
+        inst.discard(Atom("Q", (a, b)))
+        inst.rollback(sp)
+        assert set(inst._pred_bucket("Q")) == before_pred
+        assert set(inst._pos_bucket("Q", 0, a)) == before_pos
+        assert inst._pos_bucket("Q", 1, a) == frozenset()
+
+    def test_pos_slots_for_rolled_back_predicate_disappear(self):
+        inst = Instance()
+        sp = inst.savepoint()
+        inst.add(Atom("R", (a, b, c)))
+        assert inst._pos_slots("R") is not None
+        inst.rollback(sp)
+        assert inst._pos_slots("R") is None
+
+
+class TestCoreInPlace:
+    def test_core_fresh_never_mutates_input(self):
+        from repro.homomorphism import core
+
+        inst = Instance([Atom("Q", (a, Null(1))), Atom("Q", (a, b))])
+        before = inst.facts()
+        result = core(inst)
+        assert inst.facts() == before
+        assert result is not inst
+        assert result.facts() == {Atom("Q", (a, b))}
+
+    def test_core_consuming_mutates_under_savepoint(self):
+        from repro.homomorphism import core
+
+        inst = Instance([Atom("Q", (a, Null(1))), Atom("Q", (a, b))])
+        pristine, tick, log = inst.copy(), inst.tick, list(inst._log)
+        sp = inst.savepoint()
+        result = core(inst, fresh=False)
+        assert result is inst
+        assert inst.facts() == {Atom("Q", (a, b))}
+        inst.rollback(sp)
+        assert_state_equals(inst, pristine, tick, log)
+
+
+class TestCoreChaseTransactional:
+    def test_failure_leaves_input_untouched(self):
+        from repro.chase.core_chase import core_chase_step
+        from repro.model import parse_dependencies, parse_facts
+        from repro.model.terms import NullFactory
+
+        sigma = parse_dependencies("r: Q(x, y) -> x = y")
+        db = parse_facts('Q("a", "b")')
+        pristine, tick, log = db.copy(), db.tick, list(db._log)
+        assert core_chase_step(db, sigma, NullFactory(start=1)) is None
+        assert_state_equals(db, pristine, tick, log)
+
+    def test_step_advances_in_place(self):
+        from repro.chase.core_chase import core_chase_step
+        from repro.model import parse_dependencies, parse_facts
+        from repro.model.terms import NullFactory
+
+        sigma = parse_dependencies("r: N(x) -> exists y. E(x, y)")
+        db = parse_facts('N("a")')
+        out = core_chase_step(db, sigma, NullFactory(start=1))
+        assert out is db  # consumed in place, committed
+        assert not db.in_transaction
+        assert len(db) == 2
+
+
+class TestCompactLog:
+    def test_clears_log_outside_transaction(self):
+        inst = Instance([Atom("P", (a,)), Atom("P", (b,))])
+        assert inst.tick == 2
+        inst.compact_log()
+        assert inst.tick == 0 and list(inst.added_since(0)) == []
+        assert len(inst) == 2  # facts and indexes untouched
+
+    def test_rejected_inside_transaction(self):
+        inst = Instance()
+        sp = inst.savepoint()
+        with pytest.raises(RuntimeError):
+            inst.compact_log()
+        inst.rollback(sp)
+        inst.compact_log()  # fine once the scope is closed
+
+    def test_core_chase_does_not_accumulate_log(self):
+        from repro.chase import core_chase
+        from repro.model import parse_dependencies, parse_facts
+
+        sigma = parse_dependencies(
+            """
+            r1: N(x) -> exists y. E(x, y)
+            r2: E(x, y) -> N(y)
+            r3: E(x, y) -> x = y
+            """
+        )
+        result = core_chase(parse_facts('N("a")'), sigma, max_rounds=20)
+        assert result.instance is not None
+        # Rounds compact the threaded instance's log: it holds at most the
+        # final round's additions, not every intermediate ever added.
+        assert result.instance.tick == 0

@@ -101,3 +101,62 @@ class TestDefusalSemantics:
         r1 = parse_dependency("r1: N(x) -> exists y. E(x, y)")
         egd = parse_dependency("r3: E(x, y) -> x = y")
         assert not WitnessEngine(r2, r1, [r2, egd]).fires().edge
+
+
+class TestSnapshotBackendDifferential:
+    """Savepoint-scoped enumeration vs the copy-backed reference: both run
+    the same search and charge the budget at the same points, so decisions
+    — edge, exactness, and the witness instances — must be byte-identical.
+    """
+
+    @staticmethod
+    def _decide_both(r1, r2, fulls, variant, budget=50_000):
+        d_sp = WitnessEngine(r1, r2, tuple(fulls), variant, budget, "savepoint").fires()
+        d_cp = WitnessEngine(r1, r2, tuple(fulls), variant, budget, "copy").fires()
+        assert d_sp.edge == d_cp.edge
+        assert d_sp.exact == d_cp.exact
+        assert (d_sp.witness is None) == (d_cp.witness is None)
+        if d_sp.witness is not None:
+            assert d_sp.witness.K.facts() == d_cp.witness.K.facts()
+            assert d_sp.witness.J.facts() == d_cp.witness.J.facts()
+            assert d_sp.witness.h1 == d_cp.witness.h1
+            assert d_sp.witness.h2 == d_cp.witness.h2
+        return d_sp
+
+    def test_differential_on_random_programs(self):
+        from repro.generators.random_deps import random_dependency_set
+
+        pairs = 0
+        for seed in range(25):
+            sigma = list(random_dependency_set(seed))
+            fulls = [d for d in sigma if d.is_full]
+            for r1 in sigma[:3]:
+                for r2 in sigma[:3]:
+                    for variant in ("standard", "oblivious"):
+                        self._decide_both(r1, r2, fulls, variant)
+                        pairs += 1
+        assert pairs > 100
+
+    def test_differential_with_defusal_saturation(self):
+        # A pair whose witness only survives after the full-TGD defuser is
+        # saturated away — exercises the savepoint-scoped defuser probes.
+        r1 = parse_dependency("r1: A(x) -> exists z. B(x, z)")
+        r2 = parse_dependency("r2: B(x, y) -> exists w. C(y, w)")
+        full = parse_dependency("r3: B(x, y) -> D(y)")
+        decision = self._decide_both(r1, r2, [full], "standard")
+        assert decision.edge
+
+    def test_differential_exhausted_budget(self):
+        # A tiny budget exhausts mid-search: both backends must stop at
+        # the same point and report the same inexact over-approximation.
+        r1 = parse_dependency("r1: E(x, y) & E(y, z) -> exists w. E(z, w)")
+        r2 = parse_dependency("r2: E(x, y) & E(y, x) -> exists v. E(x, v)")
+        decision = self._decide_both(r1, r2, [], "standard", budget=40)
+        assert not decision.exact
+
+    def test_unknown_backend_rejected(self):
+        import pytest
+
+        r1 = parse_dependency("r1: A(x) -> B(x)")
+        with pytest.raises(ValueError):
+            WitnessEngine(r1, r1, snapshots="fork")
