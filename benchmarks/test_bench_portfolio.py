@@ -19,8 +19,22 @@ The bench asserts the portfolio's headline verdict matches the full
 sequential one on every program **except** where the portfolio visibly
 exhausted a budget (the designed trade: boundedness for flagged
 exactness — never a silent downgrade), and that the portfolio beats the
-sequential arm by ≥ ``SPEEDUP_FLOOR`` overall.  Timings go to
-``benchmarks/results/portfolio.txt``.
+sequential arm by ≥ ``SPEEDUP_FLOOR`` overall.
+
+A second comparison measures the shared analysis substrate (DESIGN.md
+§6): ``backend="shared"`` (one memoized ``AnalysisContext`` + one
+firing-decision cache per program) against ``backend="isolated"``
+(every criterion recomputes every artifact and probe — the pre-sharing
+baseline).  The workload is the criterion family whose machinery the
+substrate deduplicates — WA/SC plus the restriction chain CStr/SR/IR,
+which used to build four separate ``FiringOracle``s over the same
+oblivious pair matrix and recompute the affected positions three times
+(criteria like LS or SAC spend their time in once-per-program artifacts
+no sharing can remove, so they would only dilute the measurement
+without exercising the substrate).  Verdict-identical per the
+differential suite, ≥ ``SHARED_SPEEDUP_FLOOR`` faster, artifact and
+decision hit rates reported.  Timings go to
+``benchmarks/results/portfolio.txt`` / ``portfolio_shared.txt``.
 """
 
 from __future__ import annotations
@@ -36,6 +50,11 @@ from repro.generators import random_dependency_set
 N_PROGRAMS = int(os.environ.get("REPRO_PORTFOLIO_PROGRAMS", "60"))
 #: Conservative CI floor; standalone runs measure ~3x (see results/).
 SPEEDUP_FLOOR = 1.5
+#: Floor for one shared context vs full isolated recomputation.
+SHARED_SPEEDUP_FLOOR = 2.0
+#: The substrate workload: the static criteria plus the restriction
+#: chain that shares the oblivious pair matrix and affected positions.
+SHARED_CRITERIA = ["WA", "SC", "CStr", "SR", "IR"]
 JOBS = 4
 BUDGET_MS = 250.0
 BUDGET_STEPS = 2_000_000
@@ -103,4 +122,68 @@ def test_portfolio_beats_sequential_classify():
     write_result("portfolio", "\n".join(lines))
     assert speedup >= SPEEDUP_FLOOR, (
         f"portfolio speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+
+
+def test_shared_context_beats_isolated_recompute():
+    sigmas = [
+        random_dependency_set(seed, n_deps=4, egd_fraction=0.3)
+        for seed in range(N_PROGRAMS)
+    ]
+
+    t0 = time.perf_counter()
+    isolated = [
+        classify(sigma, criteria=SHARED_CRITERIA, backend="isolated")
+        for sigma in sigmas
+    ]
+    iso_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    shared = [
+        classify(sigma, criteria=SHARED_CRITERIA, backend="shared")
+        for sigma in sigmas
+    ]
+    shr_s = time.perf_counter() - t0
+
+    mismatches = [
+        seed
+        for seed, (iso, shr) in enumerate(zip(isolated, shared))
+        if [(n, r.accepted, r.exact) for n, r in iso.results.items()]
+        != [(n, r.accepted, r.exact) for n, r in shr.results.items()]
+    ]
+    assert not mismatches, (
+        f"shared context changed verdicts on seeds {mismatches}"
+    )
+
+    speedup = iso_s / shr_s
+    artifact_hits = artifact_total = decision_hits = decision_total = 0
+    for report in shared:
+        ctx = report.details["context"]
+        artifact_hits += ctx["artifacts"]["hits"]
+        artifact_total += ctx["artifacts"]["hits"] + ctx["artifacts"]["misses"]
+        decision_hits += ctx["decisions"]["hits"]
+        decision_total += ctx["decisions"]["hits"] + ctx["decisions"]["misses"]
+    artifact_rate = artifact_hits / artifact_total if artifact_total else 0.0
+    decision_rate = decision_hits / decision_total if decision_total else 0.0
+
+    lines = [
+        "Shared analysis substrate bench — one memoized AnalysisContext "
+        "per program vs isolated per-criterion recomputation "
+        f"({N_PROGRAMS} random programs, criteria "
+        f"{'/'.join(SHARED_CRITERIA)}, verdict-identical)",
+        "",
+        f"isolated recompute (no sharing):            {iso_s * 1000:8.1f} ms",
+        f"shared context (artifacts + decisions):     {shr_s * 1000:8.1f} ms",
+        "",
+        f"speedup: {speedup:.1f}x   "
+        f"artifact cache hit rate: {artifact_rate:.0%}   "
+        f"firing-decision cache hit rate: {decision_rate:.0%}",
+        "",
+        f"floor: shared ≥ {SHARED_SPEEDUP_FLOOR}x isolated "
+        f"(measured {speedup:.1f}x)",
+    ]
+    write_result("portfolio_shared", "\n".join(lines))
+    assert speedup >= SHARED_SPEEDUP_FLOOR, (
+        f"shared-context speedup {speedup:.2f}x below the "
+        f"{SHARED_SPEEDUP_FLOOR}x floor"
     )

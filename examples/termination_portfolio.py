@@ -11,7 +11,12 @@ Reproduces, as a matrix, the expressivity story told across the paper:
 * Σ3 / Σ6   — easy sets every criterion accepts.
 
 Also demonstrates the Adn∃-C combination (Theorem 11): criteria that fail
-on Σ directly can succeed on the adorned set Adn∃(Σ)[1].
+on Σ directly can succeed on the adorned set Adn∃(Σ)[1], and the shared
+analysis substrate (DESIGN.md §6): every portfolio run computes each
+artifact — affected positions, chase/firing graphs, firing-edge
+decisions, adornment rewritings — once per program and shares it across
+the criteria; the stats after the matrix show how much rebuild work that
+saves.
 
 Run:  python examples/termination_portfolio.py
 """
@@ -20,7 +25,10 @@ from repro import classify
 from repro.core import AdnCombined
 from repro.data import all_paper_sets
 
-CRITERIA = ["WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "Str", "S-Str", "SAC"]
+CRITERIA = [
+    "WA", "SC", "SwA", "AC", "LS", "MSA", "MFA",
+    "CStr", "SR", "IR", "Str", "S-Str", "SAC",
+]
 
 
 def main() -> None:
@@ -28,12 +36,28 @@ def main() -> None:
     header = f"{'set':<10}" + "".join(f"{c:>7}" for c in CRITERIA)
     print(header)
     print("-" * len(header))
+    artifact_hits = artifact_misses = decision_hits = decision_misses = 0
     for name, sigma in sets.items():
         report = classify(sigma, criteria=CRITERIA)
         row = f"{name:<10}"
         for c in CRITERIA:
             row += f"{'✓' if report.results[c].accepted else '·':>7}"
         print(row)
+        ctx = report.details["context"]
+        artifact_hits += ctx["artifacts"]["hits"]
+        artifact_misses += ctx["artifacts"]["misses"]
+        decision_hits += ctx["decisions"]["hits"]
+        decision_misses += ctx["decisions"]["misses"]
+
+    built = artifact_hits + artifact_misses
+    probed = decision_hits + decision_misses
+    print(
+        f"\nshared-context stats across {len(sets)} programs: "
+        f"{artifact_misses} artifacts built, {artifact_hits} reused "
+        f"(hit rate {artifact_hits / built:.0%}); "
+        f"{decision_misses} firing edges probed, {decision_hits} reused "
+        f"(hit rate {decision_hits / probed:.0%})"
+    )
 
     print("\nAdn∃-C combination (Theorem 11: C ⊊ Adn∃-C):")
     sigma1 = sets["sigma_1"]

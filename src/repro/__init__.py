@@ -33,7 +33,12 @@ Quickstart::
     print(result.instance)
 """
 
-from .analysis import ClassificationReport, ClassifyConfig, classify
+from .analysis import (
+    AnalysisContext,
+    ClassificationReport,
+    ClassifyConfig,
+    classify,
+)
 from .batch import (
     BatchConfig,
     BatchReport,
@@ -93,6 +98,7 @@ __all__ = [
     "BudgetExhausted",
     "Cancellation",
     "budget_scope",
+    "AnalysisContext",
     "ClassificationReport",
     "ClassifyConfig",
     "classify",

@@ -1,11 +1,14 @@
 """Analysis facade: criterion portfolio, corpus evaluation, Table 1 checks."""
 
 from .classify import (
+    BACKENDS,
     DEFAULT_ORDER,
+    HIERARCHY_IMPLIES,
     ClassificationReport,
     ClassifyConfig,
     classify,
 )
+from .context import AnalysisContext
 from .evaluation import (
     HALT_STRATEGIES,
     ClassSummary,
@@ -18,7 +21,10 @@ from .evaluation import (
 from .hierarchy import ClaimCheck, check_claim, render_table1, verify_cases
 
 __all__ = [
+    "AnalysisContext",
+    "BACKENDS",
     "DEFAULT_ORDER",
+    "HIERARCHY_IMPLIES",
     "ClassificationReport",
     "ClassifyConfig",
     "classify",

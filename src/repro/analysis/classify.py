@@ -40,13 +40,68 @@ from dataclasses import dataclass, field, replace
 
 from ..budget import Budget, Cancellation
 from ..criteria.base import CriterionResult, Guarantee, get_criterion, registry
-from ..firing.relations import shared_firing_cache
+from ..firing.relations import (
+    current_firing_cache,
+    no_firing_cache,
+    shared_firing_cache,
+)
 from ..model.dependencies import DependencySet
+from .context import AnalysisContext
 
 #: Criteria ordered roughly by cost (cheap static ones first).
 DEFAULT_ORDER = [
     "WA", "SC", "SwA", "AC", "LS", "MSA", "MFA", "CStr", "SR", "IR", "Str", "S-Str", "SAC",
 ]
+
+#: How the portfolio shares analysis artifacts across criteria:
+#:
+#: * ``shared`` — one :class:`~repro.analysis.context.AnalysisContext`
+#:   per program, every criterion reads artifacts (and firing-edge
+#:   decisions) off it;
+#: * ``standalone`` — the pre-context reference path: each criterion
+#:   rebuilds its own artifacts, sharing only firing-edge decisions
+#:   through the scope cache (pinned byte-identical to ``shared`` by the
+#:   differential suite, ``tests/test_context_differential.py``);
+#: * ``isolated`` — no sharing at all, every criterion recomputes every
+#:   probe (the recompute baseline of the shared-context bench).
+BACKENDS = ("shared", "standalone", "isolated")
+
+#: Accept-implications that hold *by construction* in this codebase (see
+#: the property suite ``tests/test_hierarchy_containments.py``, which is
+#: the empirical oracle for this table): if the key accepts (exactly),
+#: every value accepts; contrapositively, if a value rejects (exactly),
+#: the key rejects.  Every implied criterion's own guarantee is equal to
+#: or weaker than the implying criterion's, so an implied acceptance
+#: carries the implied criterion's guarantee soundly.
+HIERARCHY_IMPLIES = {
+    "WA": ("SC", "Str", "CStr"),
+    "SC": ("SR",),
+    "CStr": ("SR",),
+    "SR": ("IR",),
+    "AC": ("LS",),
+    "MSA": ("MFA",),
+}
+
+
+def _transitive_closure(edges: dict[str, tuple[str, ...]]) -> dict[str, frozenset[str]]:
+    closure: dict[str, frozenset[str]] = {}
+
+    def reach(name: str, seen: set[str]) -> set[str]:
+        out: set[str] = set()
+        for nxt in edges.get(name, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                out.add(nxt)
+                out |= reach(nxt, seen)
+        return out
+
+    for name in edges:
+        closure[name] = frozenset(reach(name, {name}))
+    return closure
+
+
+#: name → every criterion whose acceptance it implies (transitively).
+IMPLIES_CLOSURE = _transitive_closure(HIERARCHY_IMPLIES)
 
 
 @dataclass
@@ -58,7 +113,11 @@ class ClassifyConfig:
     sharing one :class:`~repro.budget.Cancellation` token so the
     portfolio can revoke stragglers.  ``jobs`` sizes the thread pool
     (1 = run inline, sequentially).  ``short_circuit`` cancels criteria
-    that can no longer change the headline verdict.
+    that can no longer change the headline verdict.  ``backend`` picks
+    the artifact-sharing strategy (:data:`BACKENDS`); ``hierarchy``
+    enables containment-aware scheduling: a criterion whose verdict is
+    already implied (or refuted) by an exact verdict of another criterion
+    via :data:`HIERARCHY_IMPLIES` is filled in without running.
     """
 
     criteria: list[str] | None = None
@@ -67,6 +126,14 @@ class ClassifyConfig:
     budget_ms: float | None = None
     short_circuit: bool = False
     stop_on_first: bool = False
+    backend: str = "shared"
+    hierarchy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {BACKENDS}"
+            )
 
     def names(self) -> list[str]:
         if self.criteria is not None:
@@ -90,10 +157,18 @@ class ClassifyConfig:
 
 @dataclass
 class ClassificationReport:
-    """Per-criterion verdicts for one dependency set."""
+    """Per-criterion verdicts for one dependency set.
+
+    ``details`` carries run-level metadata next to the per-criterion
+    results: the artifact-sharing ``backend``, the shared context's
+    artifact/decision cache statistics (``context``), the standalone
+    scope cache's statistics (``decisions``), and how many verdicts the
+    hierarchy scheduler filled in without running (``implied``).
+    """
 
     sigma: DependencySet
     results: dict[str, CriterionResult] = field(default_factory=dict)
+    details: dict = field(default_factory=dict)
 
     @property
     def accepted_by(self) -> list[str]:
@@ -143,10 +218,43 @@ class ClassificationReport:
             kind = "∀" if r.guarantee is Guarantee.CT_ALL else "∃"
             approx = "" if r.exact else " ~"
             budget = " [budget]" if r.exhausted is not None else ""
+            implied = ""
+            source = r.details.get("implied_by") or r.details.get("refuted_by")
+            if source:
+                implied = f" (⇐ {source})"
             lines.append(
-                f"  {mark} {name:<6} (CTstd{kind}){approx}{budget}  {r.elapsed_ms:8.1f} ms"
+                f"  {mark} {name:<6} (CTstd{kind}){approx}{budget}{implied}"
+                f"  {r.elapsed_ms:8.1f} ms"
             )
         lines.append(f"  ⇒ {self.verdict}")
+        return "\n".join(lines)
+
+    def render_stats(self) -> str:
+        """The shared-substrate statistics block (``repro classify --stats``)."""
+        lines = [f"backend: {self.details.get('backend', '?')}"]
+        implied = self.details.get("implied")
+        if implied:
+            lines.append(f"hierarchy: {implied} verdict(s) filled in by containment")
+        ctx = self.details.get("context")
+        decisions = None
+        if ctx is not None:
+            a = ctx["artifacts"]
+            lines.append(
+                f"artifacts: {a['entries']} built, {a['hits']} hits / "
+                f"{a['misses']} misses (hit rate {a['hit_rate']:.0%}, "
+                f"{a['uncached_builds']} uncached builds)"
+            )
+            decisions = ctx["decisions"]
+        if decisions is None:
+            decisions = self.details.get("decisions")
+        if decisions is not None:
+            lines.append(
+                f"firing decisions: {decisions['entries']} decided, "
+                f"{decisions['hits']} hits / {decisions['misses']} misses "
+                f"(hit rate {decisions['hit_rate']:.0%}, "
+                f"{decisions['waits']} single-flight waits, "
+                f"{decisions['preloaded']} preloaded)"
+            )
         return "\n".join(lines)
 
 
@@ -203,6 +311,49 @@ def _reclassify_cancelled(
     return result
 
 
+def _implication_sound(result: CriterionResult) -> bool:
+    """May this result seed hierarchy implications?
+
+    Only an exact, budget-clean, actually-run verdict is a theorem-grade
+    fact about Σ; approximations and short-circuits imply nothing.
+    """
+    return result.exact and result.exhausted is None and not result.skipped
+
+
+def _implied_result(
+    name: str, source: CriterionResult, accepted: bool
+) -> CriterionResult:
+    key = "implied_by" if accepted else "refuted_by"
+    return CriterionResult(
+        criterion=name,
+        accepted=accepted,
+        guarantee=get_criterion(name).guarantee,
+        exact=True,
+        details={key: source.criterion},
+    )
+
+
+def _hierarchy_decided(
+    result: CriterionResult, pending: list[str]
+) -> list[tuple[str, bool]]:
+    """(criterion, accepted) for every pending verdict ``result`` decides.
+
+    An exact acceptance of C decides every pending criterion C implies;
+    an exact rejection of C decides (negatively) every pending criterion
+    that implies C.
+    """
+    if not _implication_sound(result):
+        return []
+    name = result.criterion
+    out = []
+    for other in pending:
+        if result.accepted and other in IMPLIES_CLOSURE.get(name, ()):
+            out.append((other, True))
+        elif not result.accepted and name in IMPLIES_CLOSURE.get(other, ()):
+            out.append((other, False))
+    return out
+
+
 def classify(
     sigma: DependencySet,
     criteria: list[str] | None = None,
@@ -211,6 +362,8 @@ def classify(
     budget_steps: int | None = None,
     budget_ms: float | None = None,
     short_circuit: bool = False,
+    backend: str = "shared",
+    hierarchy: bool = False,
     config: ClassifyConfig | None = None,
 ) -> ClassificationReport:
     """Run the (selected) criteria on Σ.
@@ -218,7 +371,8 @@ def classify(
     ``criteria`` defaults to every registered criterion in rough cost
     order.  ``stop_on_first`` stops at the first acceptance — useful when
     only the verdict matters.  The remaining knobs (or an explicit
-    ``config``) select the parallel portfolio: see :class:`ClassifyConfig`.
+    ``config``) select the parallel portfolio and the artifact-sharing
+    backend: see :class:`ClassifyConfig`.
     """
     if config is None:
         config = ClassifyConfig(
@@ -228,14 +382,45 @@ def classify(
             budget_ms=budget_ms,
             short_circuit=short_circuit,
             stop_on_first=stop_on_first,
+            backend=backend,
+            hierarchy=hierarchy,
         )
     names = config.names()
     report = ClassificationReport(sigma)
-    with shared_firing_cache():
+    report.details["backend"] = config.backend
+
+    def run(context: AnalysisContext | None) -> None:
         if config.jobs <= 1:
-            _run_sequential(sigma, names, config, report)
+            _run_sequential(sigma, names, config, report, context)
         else:
-            _run_parallel(sigma, names, config, report)
+            _run_parallel(sigma, names, config, report, context)
+
+    if config.backend == "shared":
+        # One artifact store for the whole program; it adopts an
+        # enclosing scope cache (the batch engine's warm-started one)
+        # when present.  The same decision cache is installed as the
+        # scope cache so nested analyses (LS's c-stratification of Σα,
+        # IR's recursion) share it too.
+        context = AnalysisContext(sigma)
+        with shared_firing_cache(context.decisions):
+            run(context)
+        report.details["context"] = context.stats()
+    elif config.backend == "standalone":
+        # The pre-context reference path: per-criterion artifact rebuilds
+        # over one shared firing-decision scope cache.
+        with shared_firing_cache(current_firing_cache()) as cache:
+            run(None)
+        report.details["decisions"] = cache.stats()
+    else:  # isolated
+        with no_firing_cache():
+            run(None)
+    implied = sum(
+        1
+        for r in report.results.values()
+        if "implied_by" in r.details or "refuted_by" in r.details
+    )
+    if implied:
+        report.details["implied"] = implied
     # Present results in portfolio order regardless of completion order.
     report.results = {n: report.results[n] for n in names if n in report.results}
     return report
@@ -246,16 +431,23 @@ def _run_sequential(
     names: list[str],
     config: ClassifyConfig,
     report: ClassificationReport,
+    context: AnalysisContext | None,
 ) -> None:
     cancellation = Cancellation()
     pending = list(names)
     while pending:
         name = pending.pop(0)
         criterion = get_criterion(name)
-        result = criterion.check(sigma, budget=config.make_budget(cancellation))
+        result = criterion.check(
+            sigma, budget=config.make_budget(cancellation), context=context
+        )
         report.results[name] = result
         if config.stop_on_first and result.accepted:
             return
+        if config.hierarchy:
+            for other, accepted in _hierarchy_decided(result, pending):
+                pending.remove(other)
+                report.results[other] = _implied_result(other, result, accepted)
         if config.short_circuit:
             for skipped in _headline_decided(report, pending):
                 pending.remove(skipped)
@@ -269,6 +461,7 @@ def _run_parallel(
     names: list[str],
     config: ClassifyConfig,
     report: ClassificationReport,
+    context: AnalysisContext | None,
 ) -> None:
     import contextvars
 
@@ -276,7 +469,7 @@ def _run_parallel(
 
     def worker(name: str) -> CriterionResult:
         return get_criterion(name).check(
-            sigma, budget=config.make_budget(tokens[name])
+            sigma, budget=config.make_budget(tokens[name]), context=context
         )
 
     # Submission is *lazy*: at most ``jobs`` criteria are in flight, so
@@ -312,6 +505,16 @@ def _run_parallel(
                 )
                 report.results[name] = result
                 accepted = accepted or result.accepted
+                if config.hierarchy:
+                    # Containment fills in still-queued criteria; lazy
+                    # submission makes this spare them from ever starting
+                    # (in-flight ones are left to finish: their real
+                    # verdict is at most as informative, never wrong).
+                    for other, implied in _hierarchy_decided(result, queue):
+                        queue.remove(other)
+                        report.results[other] = _implied_result(
+                            other, result, implied
+                        )
             if config.stop_on_first and accepted:
                 for name in list(queue):
                     drop_queued(name)

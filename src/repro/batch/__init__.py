@@ -11,6 +11,12 @@ See DESIGN.md §4 for the canonical-hash definition, the cache entry
 schema and the resume semantics.
 """
 
+from .artifacts import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    decisions_to_json,
+    seed_decisions,
+)
 from .cache import SCHEMA_VERSION, CacheStats, ResultCache
 from .engine import (
     BatchConfig,
@@ -22,6 +28,10 @@ from .engine import (
 from .fingerprint import FINGERPRINT_VERSION, canonical_fingerprint, stable_hash
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStore",
+    "decisions_to_json",
+    "seed_decisions",
     "SCHEMA_VERSION",
     "CacheStats",
     "ResultCache",

@@ -1,0 +1,258 @@
+"""Persisted analysis artifacts: firing-edge decisions, keyed by the
+program's canonical fingerprint.
+
+The expensive artifact behind every criterion the portfolio runs is the
+firing relation: each edge is decided by a witness-engine chase probe
+(milliseconds to seconds), while every other context artifact (affected
+positions, graphs over already-decided edges, SCCs) rebuilds from those
+decisions in microseconds.  So the batch engine persists exactly the
+decision layer: a classify worker seeds its
+:class:`~repro.firing.relations.DecisionCache` from the store before
+running and appends the fresh decisions afterwards — a warm corpus rerun
+(even with changed evaluation parameters, which miss the result cache)
+skips the chase probes entirely.
+
+Decisions must survive the transformations the result cache's
+content-addressed key absorbs (per-dependency variable renaming,
+schema-wide predicate renaming, dependency reordering), so a dependency
+is named not by its position in Σ but by its **canonical code**: the
+colour-refined, variable-numbered encoding of
+:mod:`repro.batch.fingerprint`, hashed.  Codes are sound transfer keys
+only when they are **injective** over Σ: colour refinement is 1-WL, so
+two genuinely different dependencies can share a code (e.g. the two
+halves of a predicate-symmetric program), and conflating the pairs
+``(d1, d1)`` and ``(d1, d2)`` would transfer a decision to a probe that
+never made it — a wrong verdict, not a cold one.  Both the encoder and
+the seeder therefore refuse non-injective programs outright; those
+corpus outliers simply stay cold.  Only deterministic decisions ever
+reach a :class:`DecisionCache`, so everything snapshotted from one is
+safe to persist.
+
+The store is an append-only ``artifacts.jsonl`` next to the result
+cache's ``results.jsonl``, with the same crash-safety story: one record
+per line, truncated tails skipped, later lines win (they can only *add*
+decisions — decisions are deterministic, so re-derived ones are equal).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterable
+
+from ..firing.relations import DecisionCache
+from ..firing.witness import FiringDecision
+from ..model.dependencies import AnyDependency, DependencySet
+from .fingerprint import (
+    _alpha_unique,
+    _dependency_code,
+    predicate_colours,
+    stable_hash,
+)
+
+#: Bump when the decision-record layout (or the semantics of the probes
+#: behind it) changes: old lines become unreachable, which is the
+#: invalidation we want.
+ARTIFACT_SCHEMA = 1
+
+_ARTIFACTS_NAME = "artifacts.jsonl"
+
+
+def dependency_codes(sigma: DependencySet) -> dict[AnyDependency, str] | None:
+    """Each dependency's renaming-invariant code within this program, or
+    ``None`` when the codes do not name dependencies uniquely.
+
+    Colours come from the alpha-deduplicated set so that twin programs
+    differing only in duplicate spellings still agree on codes.  A code
+    collision between *distinct* dependencies (alpha-duplicates, or the
+    1-WL blind spot of colour refinement) makes ordered pairs ambiguous
+    — ``(d1, d1)`` and ``(d1, d2)`` would serialise identically even
+    though they are different probes — so such programs opt out of
+    persistence entirely (see the module docstring).
+    """
+    deps = list(sigma)
+    colours = predicate_colours(_alpha_unique(sigma))
+    codes = {dep: stable_hash(_dependency_code(dep, colours)) for dep in deps}
+    if len(set(codes.values())) != len(deps):
+        return None
+    return codes
+
+
+def decisions_to_json(
+    sigma: DependencySet,
+    cache: DecisionCache,
+    codes: dict[AnyDependency, str] | None = None,
+) -> list[dict]:
+    """Serialise the cache's decisions about Σ's own dependency pairs.
+
+    Decisions about foreign dependencies (LS probes pairs of the adorned
+    set Σα through the same cache) are skipped: they are not artifacts of
+    Σ and would not round-trip through Σ's codes.  Witnesses are dropped
+    — reuse needs only the verdict and its exactness.  Returns nothing
+    when Σ's codes are ambiguous (see :func:`dependency_codes`); pass a
+    precomputed ``codes`` map to skip re-canonicalising Σ.
+    """
+    code_of = dependency_codes(sigma) if codes is None else codes
+    if code_of is None:
+        return []
+    records = []
+    for key, decision in cache.snapshot().items():
+        kind = key[0]
+        if kind == "precedes":
+            _, r1, r2, variant, budget = key
+            fulls = None
+        else:
+            _, r1, r2, fulls, variant, budget = key
+        if r1 not in code_of or r2 not in code_of:
+            continue
+        record = {
+            "kind": kind,
+            "r1": code_of[r1],
+            "r2": code_of[r2],
+            "variant": variant,
+            "budget": budget,
+            "edge": decision.edge,
+            "exact": decision.exact,
+        }
+        if fulls is not None:
+            if any(f not in code_of for f in fulls):
+                continue
+            record["fulls"] = sorted({code_of[f] for f in fulls})
+        records.append(record)
+    # Deterministic file content: order by the probe identity (already
+    # canonical strings — no dependency is rendered for sorting).
+    records.sort(key=_record_identity)
+    return records
+
+
+def seed_decisions(
+    sigma: DependencySet,
+    records: Iterable[dict],
+    cache: DecisionCache,
+    codes: dict[AnyDependency, str] | None = None,
+) -> int:
+    """Install stored decisions for Σ into ``cache``; returns how many.
+
+    Records whose codes no longer resolve (the program changed, the
+    schema moved on, or Σ's codes are ambiguous and were never safe to
+    transfer) are silently skipped: the worst outcome of a stale or
+    refused store is a cold probe, never a wrong verdict.  Pass a
+    precomputed ``codes`` map to skip re-canonicalising Σ.
+    """
+    if codes is None:
+        codes = dependency_codes(sigma)
+    if codes is None:
+        return 0
+    by_code = {code: dep for dep, code in codes.items()}
+    seeded = 0
+    for record in records:
+        r1 = by_code.get(record["r1"])
+        r2 = by_code.get(record["r2"])
+        if r1 is None or r2 is None:
+            continue
+        fulls = None
+        if "fulls" in record:
+            members = [by_code.get(c) for c in record["fulls"]]
+            if any(m is None for m in members):
+                continue
+            fulls = frozenset(members)
+        decision = FiringDecision(record["edge"], record["exact"], None)
+        if fulls is None:
+            key = (record["kind"], r1, r2, record["variant"], record["budget"])
+        else:
+            key = (
+                record["kind"], r1, r2, fulls,
+                record["variant"], record["budget"],
+            )
+        cache.seed(key, decision)
+        seeded += 1
+    return seeded
+
+
+def _record_identity(record: dict) -> str:
+    """The probe a record answers (everything but the answer itself)."""
+    return json.dumps(
+        {k: v for k, v in record.items() if k not in ("edge", "exact")},
+        sort_keys=True,
+    )
+
+
+class ArtifactStore:
+    """Load-once, append-forever store of per-program decision records.
+
+    Mirrors :class:`~repro.batch.cache.ResultCache`'s lifecycle (same
+    directory, sibling file) but merges rather than replaces: lines for
+    the same program key accumulate decisions, deduplicated by probe.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, dict[str, dict]] = {}
+        self._fh = None
+        self._load()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self.directory / _ARTIFACTS_NAME
+
+    def _load(self) -> None:
+        from ..io import iter_jsonl
+
+        if not self.path.exists():
+            return
+        for _, line in iter_jsonl(self.path.read_text()):
+            if line is None or line.get("schema") != ARTIFACT_SCHEMA:
+                continue
+            key = line.get("key")
+            records = line.get("oracle")
+            if not isinstance(key, str) or not isinstance(records, list):
+                continue
+            merged = self._entries.setdefault(key, {})
+            for record in records:
+                merged[_record_identity(record)] = record
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> list[dict]:
+        """Every stored decision record for the program ``key``."""
+        return list(self._entries.get(key, {}).values())
+
+    def put(self, key: str, records: list[dict]) -> int:
+        """Append the records not already stored; returns how many were new."""
+        from ..io import jsonl_dumps
+
+        merged = self._entries.setdefault(key, {})
+        fresh = []
+        for record in records:
+            identity = _record_identity(record)
+            if identity not in merged:
+                merged[identity] = record
+                fresh.append(record)
+        if fresh:
+            if self._fh is None:
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(
+                jsonl_dumps(
+                    {"schema": ARTIFACT_SCHEMA, "key": key, "oracle": fresh}
+                )
+                + "\n"
+            )
+            self._fh.flush()
+        return len(fresh)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.directory)!r}, {len(self)} programs)"

@@ -143,6 +143,10 @@ class BatchReport:
     skipped_other_shards: int = 0
     interrupted: bool = False
     cache_stats: CacheStats | None = None
+    #: Firing-edge decisions warm-started from / appended to the
+    #: artifact store (classify mode with a cache directory only).
+    decisions_preloaded: int = 0
+    decisions_recorded: int = 0
 
     @property
     def any_exhausted(self) -> bool:
@@ -214,6 +218,11 @@ class BatchReport:
         ]
         if self.skipped_other_shards:
             bits.append(f"{self.skipped_other_shards} in other shards")
+        if self.decisions_preloaded or self.decisions_recorded:
+            bits.append(
+                f"firing decisions: {self.decisions_preloaded} preloaded, "
+                f"{self.decisions_recorded} newly recorded"
+            )
         if self.interrupted:
             bits.append("INTERRUPTED (re-run with the same cache to resume)")
         if self.any_exhausted:
@@ -284,17 +293,31 @@ def _evaluate_record(sigma: DependencySet, payload: dict) -> dict:
 def _classify_record(sigma: DependencySet, payload: dict) -> dict:
     import time
 
+    from ..firing.relations import DecisionCache, shared_firing_cache
+    from .artifacts import decisions_to_json, dependency_codes, seed_decisions
+
+    # Warm-start the firing-decision layer from the artifact store, run
+    # the portfolio's shared context on top of it, and ship the (possibly
+    # grown) decision set back for persistence.  A None payload means no
+    # artifact store exists: then Σ is never canonicalised at all.
+    stored = payload.get("decisions")
+    codes = dependency_codes(sigma) if stored is not None else None
+    decisions = DecisionCache()
+    if stored:
+        seed_decisions(sigma, stored, decisions, codes=codes)
     start = time.perf_counter()
-    report = classify(
-        sigma,
-        config=ClassifyConfig(
-            criteria=payload["criteria"],
-            jobs=1,  # corpus-level parallelism happens at this layer
-            budget_steps=payload["budget_steps"],
-            budget_ms=payload["budget_ms"],
-        ),
-    )
+    with shared_firing_cache(decisions):
+        report = classify(
+            sigma,
+            config=ClassifyConfig(
+                criteria=payload["criteria"],
+                jobs=1,  # corpus-level parallelism happens at this layer
+                budget_steps=payload["budget_steps"],
+                budget_ms=payload["budget_ms"],
+            ),
+        )
     elapsed_ms = (time.perf_counter() - start) * 1000.0
+    decision_stats = decisions.stats()
     exhausted = None
     for r in report.results.values():
         if r.exhausted is not None and not r.skipped:
@@ -320,6 +343,14 @@ def _classify_record(sigma: DependencySet, payload: dict) -> dict:
         },
         "exhausted": exhausted,
         "elapsed_ms": elapsed_ms,
+        # Transient (stripped before the record enters the result cache):
+        # the decisions to persist and how warm the run started.
+        "artifacts": None
+        if stored is None
+        else {
+            "oracle": decisions_to_json(sigma, decisions, codes=codes),
+            "preloaded": decision_stats["preloaded"],
+        },
     }
 
 
@@ -348,6 +379,14 @@ def evaluate_corpus(
     params = config.params_key()
     report = BatchReport(mode=config.mode)
     cache = ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    # The artifact store rides next to the result cache: classify misses
+    # (new programs, or old programs under new evaluation parameters)
+    # warm-start their firing-decision layer from earlier runs.
+    store = None
+    if cache is not None and config.mode == "classify":
+        from .artifacts import ArtifactStore
+
+        store = ArtifactStore(config.cache_dir)
 
     # Fingerprint everything up front (cheap, pure) and decide each
     # program's fate: other shard / cache hit / needs computing.
@@ -373,13 +412,17 @@ def evaluate_corpus(
 
     try:
         if pending:
-            _run_pending(pending, config, params, cache, cancellation, slots, report)
+            _run_pending(
+                pending, config, params, cache, store, cancellation, slots, report
+            )
     except KeyboardInterrupt:
         report.interrupted = True
     finally:
         if cache is not None:
             report.cache_stats = cache.stats
             cache.close()
+        if store is not None:
+            store.close()
 
     for key, ont in ordered:
         done = slots.get(key)
@@ -408,7 +451,9 @@ def _program_result(
     )
 
 
-def _payload(key: str, ont: GeneratedOntology, config: BatchConfig) -> dict:
+def _payload(
+    key: str, ont: GeneratedOntology, config: BatchConfig, store=None
+) -> dict:
     return {
         "key": key,
         "mode": config.mode,
@@ -417,6 +462,7 @@ def _payload(key: str, ont: GeneratedOntology, config: BatchConfig) -> dict:
         "budget_ms": config.budget_ms,
         "chase_steps": config.chase_steps,
         "criteria": config.criteria,
+        "decisions": store.get(key) if store is not None else None,
     }
 
 
@@ -429,12 +475,23 @@ def _run_pending(
     config: BatchConfig,
     params: str,
     cache: ResultCache | None,
+    store,
     cancellation: Cancellation | None,
     slots: dict[str, ProgramResult],
     report: BatchReport,
 ) -> None:
     def finish(key: str, record: dict) -> None:
         record = dict(record)
+        # The decision layer is persisted into the artifact store, not
+        # into the result record (which must stay stable across warm and
+        # cold runs of the same program).
+        artifacts = record.pop("artifacts", None)
+        if artifacts is not None:
+            report.decisions_preloaded += artifacts.get("preloaded", 0)
+            if store is not None:
+                report.decisions_recorded += store.put(
+                    key, artifacts.get("oracle", [])
+                )
         record["name"] = pending[key].name
         if cache is not None:
             cache.put(key, params, record)
@@ -446,7 +503,10 @@ def _run_pending(
             if _cancelled(cancellation):
                 report.interrupted = True
                 return
-            finish(key, _evaluate_payload(_payload(key, pending[key], config)))
+            finish(
+                key,
+                _evaluate_payload(_payload(key, pending[key], config, store)),
+            )
         return
 
     if _cancelled(cancellation):  # tripped before anything started
@@ -464,7 +524,7 @@ def _run_pending(
     # pending futures are cancelled.
     with ProcessPoolExecutor(max_workers=config.jobs) as pool:
         running = {
-            pool.submit(_evaluate_payload, _payload(key, ont, config)): key
+            pool.submit(_evaluate_payload, _payload(key, ont, config, store)): key
             for key, ont in pending.items()
         }
         try:

@@ -69,8 +69,13 @@ def cmd_classify(args: argparse.Namespace) -> int:
         budget_steps=args.budget_steps,
         budget_ms=args.budget_ms,
         short_circuit=args.short_circuit,
+        backend=args.backend,
+        hierarchy=args.hierarchy,
     )
     print(report)
+    if args.stats:
+        print()
+        print(report.render_stats())
     if report.guarantees_exists:
         return 0
     return 2 if report.any_exhausted else 1
@@ -236,6 +241,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cancel criteria that can no longer change the "
                         "overall verdict (cheap static criteria usually "
                         "decide it first)")
+    p.add_argument("--backend", default="shared",
+                   choices=["shared", "standalone", "isolated"],
+                   help="artifact sharing across criteria: one shared "
+                        "analysis context (default), the per-criterion "
+                        "standalone reference path, or fully isolated "
+                        "recomputation")
+    p.add_argument("--hierarchy", action="store_true",
+                   help="fill in verdicts already implied or refuted by "
+                        "the paper's criterion containments (e.g. WA ⇒ "
+                        "SC ⇒ SR ⇒ IR) instead of running those criteria")
+    p.add_argument("--stats", action="store_true",
+                   help="print artifact / firing-decision cache "
+                        "statistics after the report")
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser(

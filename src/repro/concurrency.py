@@ -1,0 +1,84 @@
+"""Shared concurrency primitives.
+
+:class:`SingleFlightCache` is the memoization core behind both levels of
+the shared analysis substrate (DESIGN.md §6): the
+:class:`~repro.analysis.context.AnalysisContext` artifact store and the
+firing-edge :class:`~repro.firing.relations.DecisionCache`.  Concurrent
+requests for the same key elect one *leader* that runs the build; the
+rest block on an event and re-check when it fires.  A build may decline
+caching (a budget-truncated, non-reproducible value): the leader still
+returns its value to its own caller, but the key stays undecided and the
+waiters re-elect — possibly themselves — under their own budgets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class SingleFlightCache:
+    """Thread-safe, single-flight, decline-aware memoization.
+
+    Subclasses layer their domain API over :meth:`_get_or_build` and may
+    override the ``_on_*`` hooks (called holding the lock) to keep
+    statistics.  ``_values`` is the memo table; subclasses touching it
+    directly must hold ``_lock``.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict = {}
+        self._lock = threading.Lock()
+        self._in_flight: dict[Any, threading.Event] = {}
+
+    # -- stats hooks (all called under the lock) ---------------------------
+
+    def _on_hit(self) -> None: ...
+
+    def _on_miss(self) -> None: ...
+
+    def _on_wait(self) -> None: ...
+
+    def _on_uncached(self) -> None: ...
+
+    # -- the core ----------------------------------------------------------
+
+    def _get_or_build(
+        self, key: Any, build: Callable[[], tuple[Any, bool]]
+    ) -> Any:
+        """Return the memoized value for ``key`` or build it.
+
+        ``build`` returns ``(value, cacheable)``; only cacheable values
+        enter the memo table.  Exactly one caller per key builds at a
+        time; the others wait and then re-check.
+        """
+        while True:
+            with self._lock:
+                if key in self._values:
+                    self._on_hit()
+                    return self._values[key]
+                event = self._in_flight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._in_flight[key] = event
+                    self._on_miss()
+                    break  # we are the leader
+                self._on_wait()
+            # A leader is building this key; wait for it, then re-check.
+            # Builds are budget-bounded, so the wait is finite; if the
+            # leader's value was not cacheable the loop elects a new
+            # leader — possibly us — under our own budget.
+            event.wait()
+        try:
+            value, cacheable = build()
+            if cacheable:
+                with self._lock:
+                    self._values[key] = value
+            else:
+                with self._lock:
+                    self._on_uncached()
+            return value
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            event.set()

@@ -35,8 +35,13 @@ class AdnCombined(TerminationCriterion):
         self._adn_kwargs = adn_kwargs
         self.last_result: AdnResult | None = None
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        result = adn_exists(sigma, **self._adn_kwargs)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        # As in SemiAcyclicity: only the default-knob Adn∃ run is the
+        # context's memoized artifact.
+        if self._adn_kwargs:
+            result = adn_exists(sigma, **self._adn_kwargs)
+        else:
+            result = ctx.adn_result()
         self.last_result = result
         details: dict = {
             "size_adorned": result.stats["size_adorned"],

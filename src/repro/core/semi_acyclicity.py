@@ -31,8 +31,13 @@ class SemiAcyclicity(TerminationCriterion):
         self._adn_kwargs = adn_kwargs
         self.last_result: AdnResult | None = None
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        result = adn_exists(sigma, **self._adn_kwargs)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        # Non-default Adn∃ knobs produce a different artifact than the
+        # context's memoized default-knob run, so they bypass it.
+        if self._adn_kwargs:
+            result = adn_exists(sigma, **self._adn_kwargs)
+        else:
+            result = ctx.adn_result()
         self.last_result = result
         details = dict(result.stats)
         details["adorned_ratio"] = (

@@ -67,12 +67,11 @@ class SemiStratification(TerminationCriterion):
     name = "S-Str"
     guarantee = Guarantee.CT_EXISTS
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        oracle = FiringOracle(sigma)
-        graph = firing_graph(sigma, oracle)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        graph, oracle_exact = ctx.firing_graph()
         bad = 0
         components = 0
-        for scc in nx.strongly_connected_components(graph):
+        for scc in ctx.firing_sccs():
             components += 1
             if not _is_cyclic_component(graph, scc):
                 continue
@@ -83,4 +82,4 @@ class SemiStratification(TerminationCriterion):
             "components": components,
             "non_wa_components": bad,
         }
-        return bad == 0, not oracle.ever_inexact, details
+        return bad == 0, oracle_exact, details

@@ -31,12 +31,9 @@ class Acyclicity(TerminationCriterion):
     name = "AC"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
         details: dict = {}
         if sigma.egds:
-            from ..simulation.substitution_free import substitution_free_simulation
-
-            sigma = substitution_free_simulation(sigma)
             details["simulated"] = True
-        accepted, exact = is_acyclic_rewriting(sigma)
-        return accepted, exact, details
+        result = ctx.ac_rewriting()
+        return result.acyclic, result.exact, details

@@ -11,6 +11,15 @@ Criteria defined for TGDs only (SwA, MFA, MSA, AC per the paper's
 Section 4) lift to TGD+EGD sets through the substitution-free simulation;
 the lifting is applied by the concrete classes via
 ``simulate_if_needed``.
+
+Criteria do not build their analysis artifacts (affected positions,
+chase/firing graphs, adornment rewritings, Skolemisations) themselves:
+they consult the :class:`~repro.analysis.context.AnalysisContext` passed
+to :meth:`TerminationCriterion.check`.  When no context is given, the
+check creates a private one — memoization then degenerates to the scope
+of that single check, which is the historical standalone behaviour; the
+classification portfolio passes one shared context so every artifact is
+computed once per program.
 """
 
 from __future__ import annotations
@@ -19,9 +28,13 @@ import enum
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..budget import Budget, BudgetExhausted, budget_scope
 from ..model.dependencies import DependencySet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → criteria)
+    from ..analysis.context import AnalysisContext
 
 
 class Guarantee(enum.Enum):
@@ -76,7 +89,10 @@ class TerminationCriterion(ABC):
     guarantee: Guarantee = Guarantee.CT_ALL
 
     def check(
-        self, sigma: DependencySet, budget: Budget | None = None
+        self,
+        sigma: DependencySet,
+        budget: Budget | None = None,
+        context: "AnalysisContext | None" = None,
     ) -> CriterionResult:
         """Run the criterion, optionally under a resource budget.
 
@@ -85,15 +101,27 @@ class TerminationCriterion(ABC):
         algorithm, Skolem saturation) links its local budgets to it.  A
         blown budget surfaces as ``exact=False`` plus ``exhausted`` —
         never as an exception.
+
+        ``context`` is the shared artifact store of the enclosing
+        portfolio run; without one a private context is created, so a
+        standalone check memoizes only within itself.
         """
+        if context is None:
+            from ..analysis.context import AnalysisContext
+
+            context = AnalysisContext(sigma)
+        elif context.sigma is not sigma:
+            raise ValueError(
+                "context was built for a different dependency set"
+            )
         start = time.perf_counter()
         if budget is None:
             # Leave any enclosing ambient scope in force — installing
             # None here would disconnect nested analyses from it.
-            accepted, exact, details = self._accepts(sigma)
+            accepted, exact, details = self._accepts(sigma, context)
         else:
             with budget_scope(budget):
-                accepted, exact, details = self._accepts(sigma)
+                accepted, exact, details = self._accepts(sigma, context)
         elapsed = (time.perf_counter() - start) * 1000.0
         exhausted = budget.exhausted if budget is not None else None
         return CriterionResult(
@@ -111,8 +139,10 @@ class TerminationCriterion(ABC):
         return self.check(sigma).accepted
 
     @abstractmethod
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        """Return (accepted, exact, details)."""
+    def _accepts(
+        self, sigma: DependencySet, ctx: "AnalysisContext"
+    ) -> tuple[bool, bool, dict]:
+        """Return (accepted, exact, details), reading artifacts off ``ctx``."""
 
 
 _REGISTRY: dict[str, type[TerminationCriterion]] = {}

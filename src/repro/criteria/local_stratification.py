@@ -23,29 +23,36 @@ from .base import Guarantee, TerminationCriterion, register
 from .stratification import c_stratified_exact
 
 
-def is_locally_stratified(sigma: DependencySet) -> tuple[bool, bool]:
-    """(accepted, exact) for a TGD-only set."""
+def is_locally_stratified(
+    sigma: DependencySet, rewriting=None
+) -> tuple[bool, bool]:
+    """(accepted, exact) for a TGD-only set.
+
+    ``rewriting`` lets a caller holding the shared analysis context pass
+    the memoized AC rewriting of ``sigma`` instead of recomputing it.
+    """
     if sigma.egds:
         raise ValueError("LS is defined for TGDs only; simulate EGDs first")
-    from ..core.adornment import ac_rewriting, strip_adornments_dep
+    if rewriting is None:
+        from ..core.adornment import ac_rewriting
 
-    rewritten = ac_rewriting(sigma)
-    if rewritten.acyclic:
+        rewriting = ac_rewriting(sigma)
+    if rewriting.acyclic:
         # No cyclic adornment at all: already terminating per AC.
-        return True, rewritten.exact
-    if not rewritten.exact:
+        return True, rewriting.exact
+    if not rewriting.exact:
         # The rewriting was truncated (budget/livelock): Σα is incomplete
         # and c-stratifying a truncation proves nothing — reject.
         return False, False
     # Keep the adorned dependencies (bridges excluded — they are artifacts
     # of the rewriting, not part of the analysed program).
     adorned = DependencySet(
-        rec.dep for rec in rewritten.records if not rec.is_bridge
+        rec.dep for rec in rewriting.records if not rec.is_bridge
     )
     if not len(adorned):
-        return True, rewritten.exact
+        return True, rewriting.exact
     accepted, cstr_exact = c_stratified_exact(adorned)
-    return accepted, rewritten.exact and cstr_exact
+    return accepted, rewriting.exact and cstr_exact
 
 
 @register
@@ -55,12 +62,11 @@ class LocalStratification(TerminationCriterion):
     name = "LS"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
         details: dict = {}
         if sigma.egds:
-            from ..simulation.substitution_free import substitution_free_simulation
-
-            sigma = substitution_free_simulation(sigma)
             details["simulated"] = True
-        accepted, exact = is_locally_stratified(sigma)
+        accepted, exact = is_locally_stratified(
+            ctx.simulated(), rewriting=ctx.ac_rewriting()
+        )
         return accepted, exact, details

@@ -21,6 +21,8 @@ lifted through the substitution-free simulation.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import networkx as nx
 
 from ..budget import Budget, coerce_budget
@@ -39,26 +41,27 @@ from ..model.terms import Constant, Term
 from .base import Guarantee, TerminationCriterion, register
 
 
-def _tgd_only(sigma: DependencySet) -> tuple[DependencySet, bool]:
-    if sigma.egds:
-        from ..simulation.substitution_free import substitution_free_simulation
-
-        return substitution_free_simulation(sigma), True
-    return sigma, False
-
-
 def is_mfa(
     sigma: DependencySet,
     max_facts: int = 100_000,
     max_rounds: int = 500,
     budget: Budget | None = None,
+    rules: Sequence | None = None,
+    base: Instance | None = None,
 ) -> tuple[bool, bool]:
-    """(accepted, exact) — exact is False when budgets cut the run short."""
+    """(accepted, exact) — exact is False when budgets cut the run short.
+
+    ``rules``/``base`` let a caller holding the shared analysis context
+    reuse the memoized Skolemisation and critical instance (``base`` is
+    mutated by the saturation — pass a copy you own).
+    """
     if sigma.egds:
         raise ValueError("MFA is defined for TGDs only; simulate EGDs first")
     budget = coerce_budget(budget)  # links the ambient analysis budget
-    rules = skolemise(sigma, variant="semi_oblivious")
-    base = critical_instance(sigma)
+    if rules is None:
+        rules = skolemise(sigma, variant="semi_oblivious")
+    if base is None:
+        base = critical_instance(sigma)
     result = saturate(
         base, rules, stop_on_cyclic=True, max_facts=max_facts,
         max_rounds=max_rounds, budget=budget,
@@ -74,13 +77,19 @@ def is_msa(
     sigma: DependencySet,
     max_rounds: int = 2_000,
     budget: Budget | None = None,
+    rules: Sequence | None = None,
+    base: Instance | None = None,
 ) -> tuple[bool, bool]:
-    """(accepted, exact) — MSA via the summarised Skolem chase."""
+    """(accepted, exact) — MSA via the summarised Skolem chase.
+
+    ``rules``/``base`` as in :func:`is_mfa`.
+    """
     if sigma.egds:
         raise ValueError("MSA is defined for TGDs only; simulate EGDs first")
     budget = coerce_budget(budget)
-    rules = skolemise(sigma, variant="semi_oblivious")
-    instance = critical_instance(sigma)
+    if rules is None:
+        rules = skolemise(sigma, variant="semi_oblivious")
+    instance = base if base is not None else critical_instance(sigma)
     summary_const = {
         functor: Constant(f"@{functor}")
         for rule in rules
@@ -149,9 +158,13 @@ class MFA(TerminationCriterion):
     name = "MFA"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        sigma, simulated = _tgd_only(sigma)
-        accepted, exact = is_mfa(sigma)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        simulated = bool(sigma.egds)
+        accepted, exact = is_mfa(
+            ctx.simulated(),
+            rules=ctx.skolem_rules(),
+            base=ctx.critical_instance(),
+        )
         return accepted, exact, {"simulated": simulated}
 
 
@@ -162,7 +175,11 @@ class MSA(TerminationCriterion):
     name = "MSA"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        sigma, simulated = _tgd_only(sigma)
-        accepted, exact = is_msa(sigma)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        simulated = bool(sigma.egds)
+        accepted, exact = is_msa(
+            ctx.simulated(),
+            rules=ctx.skolem_rules(),
+            base=ctx.critical_instance(),
+        )
         return accepted, exact, {"simulated": simulated}

@@ -40,11 +40,16 @@ MAX_SIMPLE_CYCLES = 2_000
 MAX_RECURSION = 4
 
 
-def _null_propagating_subgraph(
-    sigma: DependencySet, graph: nx.DiGraph
+def null_propagating_subgraph(
+    sigma: DependencySet, graph: nx.DiGraph, affected=None
 ) -> nx.DiGraph:
-    """Keep only edges along which a labelled null can travel."""
-    affected = affected_positions(sigma)
+    """Keep only edges along which a labelled null can travel.
+
+    ``affected`` lets a caller that already holds the affected positions
+    (the shared analysis context) skip recomputing them.
+    """
+    if affected is None:
+        affected = affected_positions(sigma)
     out = nx.DiGraph()
     out.add_nodes_from(graph.nodes())
     for r1, r2 in graph.edges():
@@ -90,7 +95,7 @@ def is_safely_restricted(sigma: DependencySet) -> tuple[bool, bool]:
     flagged approximate rather than silently trusted.
     """
     oracle = FiringOracle(sigma, step_variant="oblivious")
-    graph = _null_propagating_subgraph(
+    graph = null_propagating_subgraph(
         sigma, oblivious_chase_graph(sigma, oracle=oracle)
     )
     accepted, exact = _cycles_safe(sigma, graph)
@@ -98,7 +103,7 @@ def is_safely_restricted(sigma: DependencySet) -> tuple[bool, bool]:
 
 
 def _ir_component(
-    sigma: DependencySet, graph: nx.DiGraph, depth: int
+    sigma: DependencySet, graph: nx.DiGraph, depth: int, decisions=None
 ) -> tuple[bool, bool]:
     ok, exact = _cycles_safe(sigma, graph)
     if ok or depth >= MAX_RECURSION:
@@ -106,17 +111,24 @@ def _ir_component(
     # Decompose: re-run on each cyclic SCC's induced sub-structure with
     # the precedence graph recomputed on the smaller dependency set (fewer
     # dependencies ⇒ fewer firing edges ⇒ possibly safe components).
+    # ``decisions`` (the shared firing-decision cache, when a context owns
+    # one) flows down: a component's pairs are pairs of Σ, so the top-level
+    # probes answer the recursion's questions for free.
     for scc in nx.strongly_connected_components(graph):
         if len(scc) == 1 and not graph.has_edge(next(iter(scc)), next(iter(scc))):
             continue
         component = sigma.restricted_to(scc)
         if len(component) == len(sigma):
             return False, exact  # no progress possible
-        sub_oracle = FiringOracle(component, step_variant="oblivious")
-        sub_graph = _null_propagating_subgraph(
+        sub_oracle = FiringOracle(
+            component, step_variant="oblivious", decisions=decisions
+        )
+        sub_graph = null_propagating_subgraph(
             component, oblivious_chase_graph(component, oracle=sub_oracle)
         )
-        ok, sub_exact = _ir_component(component, sub_graph, depth + 1)
+        ok, sub_exact = _ir_component(
+            component, sub_graph, depth + 1, decisions=decisions
+        )
         exact = exact and not sub_oracle.ever_inexact
         exact = exact and sub_exact
         if not ok:
@@ -127,7 +139,7 @@ def _ir_component(
 def is_inductively_restricted(sigma: DependencySet) -> tuple[bool, bool]:
     """(accepted, exact) for IR (oracle inexactness included, as in SR)."""
     oracle = FiringOracle(sigma, step_variant="oblivious")
-    graph = _null_propagating_subgraph(
+    graph = null_propagating_subgraph(
         sigma, oblivious_chase_graph(sigma, oracle=oracle)
     )
     accepted, exact = _ir_component(sigma, graph, 0)
@@ -141,9 +153,10 @@ class SafeRestriction(TerminationCriterion):
     name = "SR"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        accepted, exact = is_safely_restricted(sigma)
-        return accepted, exact, {}
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        graph, oracle_exact = ctx.restriction_graph()
+        accepted, exact = _cycles_safe(sigma, graph)
+        return accepted, exact and oracle_exact, {}
 
 
 @register
@@ -153,6 +166,9 @@ class InductiveRestriction(TerminationCriterion):
     name = "IR"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        accepted, exact = is_inductively_restricted(sigma)
-        return accepted, exact, {}
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        graph, oracle_exact = ctx.restriction_graph()
+        accepted, exact = _ir_component(
+            sigma, graph, 0, decisions=ctx.decisions
+        )
+        return accepted, exact and oracle_exact, {}

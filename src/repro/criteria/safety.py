@@ -54,9 +54,17 @@ def affected_positions(sigma: DependencySet) -> set[Position]:
     return affected
 
 
-def propagation_graph(sigma: DependencySet) -> nx.DiGraph:
-    """The safety propagation graph (special-edge flags as in WA)."""
-    affected = affected_positions(sigma)
+def propagation_graph(
+    sigma: DependencySet, affected: set[Position] | None = None
+) -> nx.DiGraph:
+    """The safety propagation graph (special-edge flags as in WA).
+
+    ``affected`` lets a caller that already holds the affected positions
+    (the shared :class:`~repro.analysis.context.AnalysisContext`) skip
+    recomputing them.
+    """
+    if affected is None:
+        affected = affected_positions(sigma)
     g = nx.DiGraph()
     g.add_nodes_from(sorted(affected))
     for tgd in sigma.tgds:
@@ -89,8 +97,8 @@ class Safety(TerminationCriterion):
     name = "SC"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        g = propagation_graph(sigma)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        g = ctx.propagation_graph()
         details = {
             "affected_positions": g.number_of_nodes(),
             "edges": g.number_of_edges(),

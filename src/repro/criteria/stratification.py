@@ -77,11 +77,10 @@ class Stratification(TerminationCriterion):
     name = "Str"
     guarantee = Guarantee.CT_EXISTS
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        oracle = FiringOracle(sigma)
-        graph = chase_graph(sigma, oracle)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        graph, oracle_exact = ctx.chase_graph("standard")
         ok, exact = _cycles_weakly_acyclic(sigma, graph)
-        exact = exact and not oracle.ever_inexact
+        exact = exact and oracle_exact
         return ok, exact, {"chase_graph_edges": graph.number_of_edges()}
 
 
@@ -92,9 +91,8 @@ class CStratification(TerminationCriterion):
     name = "CStr"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        oracle = FiringOracle(sigma, step_variant="oblivious")
-        graph = chase_graph(sigma, oracle)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        graph, oracle_exact = ctx.chase_graph("oblivious")
         ok, exact = _cycles_weakly_acyclic(sigma, graph)
-        exact = exact and not oracle.ever_inexact
+        exact = exact and oracle_exact
         return ok, exact, {"chase_graph_edges": graph.number_of_edges()}

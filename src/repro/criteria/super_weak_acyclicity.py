@@ -258,12 +258,9 @@ class SuperWeakAcyclicity(TerminationCriterion):
     name = "SwA"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
         details: dict = {}
         if sigma.egds:
-            from ..simulation.substitution_free import substitution_free_simulation
-
-            sigma = substitution_free_simulation(sigma)
             details["simulated"] = True
-        accepted = is_super_weakly_acyclic(sigma)
+        accepted = is_super_weakly_acyclic(ctx.simulated())
         return (accepted, True, details)

@@ -89,8 +89,8 @@ class WeakAcyclicity(TerminationCriterion):
     name = "WA"
     guarantee = Guarantee.CT_ALL
 
-    def _accepts(self, sigma: DependencySet) -> tuple[bool, bool, dict]:
-        g = dependency_graph(sigma)
+    def _accepts(self, sigma: DependencySet, ctx) -> tuple[bool, bool, dict]:
+        g = ctx.dependency_graph()
         special_cycle = has_special_cycle(g)
         details = {
             "positions": g.number_of_nodes(),

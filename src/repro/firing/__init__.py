@@ -7,7 +7,13 @@ from .graphs import (
     oblivious_chase_graph,
     render_graph,
 )
-from .relations import FiringOracle, shared_firing_cache
+from .relations import (
+    DecisionCache,
+    FiringOracle,
+    current_firing_cache,
+    no_firing_cache,
+    shared_firing_cache,
+)
 from .witness import (
     DEFAULT_BUDGET,
     FiringDecision,
@@ -23,7 +29,10 @@ __all__ = [
     "firing_graph",
     "oblivious_chase_graph",
     "render_graph",
+    "DecisionCache",
     "FiringOracle",
+    "current_firing_cache",
+    "no_firing_cache",
     "shared_firing_cache",
     "DEFAULT_BUDGET",
     "FiringDecision",

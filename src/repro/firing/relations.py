@@ -14,43 +14,33 @@ or cancellation stops the oracle mid-pair with a sound, inexact answer.
 
 Several criteria interrogate the same pairs of the same Σ (Str and S-Str
 share the standard-step relation; CStr, SR and IR all rebuild the
-oblivious-step chase graph).  A *shared decision cache* — installed for a
-dynamic scope with :func:`shared_firing_cache`, as the classification
-portfolio does — lets every oracle in the scope reuse decisions across
-criteria.  Only deterministic decisions enter the shared cache: a
-decision truncated by a wall-clock deadline or a cancellation is kept out
-so one criterion's exhaustion can never leak approximation into another
-criterion's verdict.
+oblivious-step chase graph).  A :class:`DecisionCache` — owned by an
+:class:`~repro.analysis.context.AnalysisContext`, or installed for a
+dynamic scope with :func:`shared_firing_cache` as the classification
+portfolio does — lets every oracle wired to it reuse decisions across
+criteria.  The cache is **thread-safe and single-flight**: when two
+criteria of a parallel portfolio race to the same undecided edge, one
+runs the witness engine and the other blocks until the decision lands,
+so a chase probe is never duplicated.  Only deterministic decisions are
+stored: a decision truncated by a wall-clock deadline or a cancellation
+is kept out so one criterion's exhaustion can never leak approximation
+into another criterion's verdict.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..budget import coerce_budget
+from ..concurrency import SingleFlightCache
 from ..model.dependencies import AnyDependency, DependencySet
 from .witness import DEFAULT_BUDGET, FiringDecision, WitnessEngine
 
-_SHARED_CACHE: ContextVar[dict | None] = ContextVar(
-    "repro_shared_firing_cache", default=None
-)
-
-
-@contextmanager
-def shared_firing_cache(cache: dict | None = None) -> Iterator[dict]:
-    """Install a decision cache shared by every oracle in the scope."""
-    cache = {} if cache is None else cache
-    token = _SHARED_CACHE.set(cache)
-    try:
-        yield cache
-    finally:
-        _SHARED_CACHE.reset(token)
-
 
 def _deterministic(decision: FiringDecision, engine: WitnessEngine) -> bool:
-    """Safe for the shared cache: decided by the pair alone.
+    """Safe for a shared cache: decided by the pair alone.
 
     A decision is reproducible iff it completed, or was truncated by the
     engine's *own* per-pair step allowance.  Truncation inherited from an
@@ -68,8 +58,130 @@ def _deterministic(decision: FiringDecision, engine: WitnessEngine) -> bool:
     return parent is None or parent.exhausted is None
 
 
+class DecisionCache(SingleFlightCache):
+    """A thread-safe, single-flight store of deterministic firing decisions.
+
+    ``decide(key, compute)`` returns the cached decision for ``key`` or
+    elects exactly one caller per key as the *leader* that runs
+    ``compute`` (the witness-engine probe); concurrent callers for the
+    same key block until the leader finishes (the
+    :class:`~repro.concurrency.SingleFlightCache` protocol).  ``compute``
+    returns ``(decision, deterministic)`` — only deterministic decisions
+    enter the cache, so a leader whose enclosing budget blew mid-probe
+    leaves the key undecided and the next caller re-elects a leader under
+    its own budget.
+
+    Stats (``hits``/``misses``/``waits``) are updated under the lock and
+    surfaced through :meth:`stats` for the ``--stats`` report and the CI
+    bench summary.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+        self.waits = 0
+        self.preloaded = 0
+
+    def _on_hit(self) -> None:
+        self.hits += 1
+
+    def _on_miss(self) -> None:
+        self.misses += 1
+
+    def _on_wait(self) -> None:
+        self.waits += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._values
+
+    def decide(
+        self,
+        key: tuple,
+        compute: Callable[[], tuple[FiringDecision, bool]],
+    ) -> FiringDecision:
+        return self._get_or_build(key, compute)
+
+    def seed(self, key: tuple, decision: FiringDecision) -> None:
+        """Install a decision computed elsewhere (the batch artifact
+        store's warm-start path).  Seeded decisions must be deterministic
+        — the caller vouches, the cache cannot re-check."""
+        with self._lock:
+            if key not in self._values:
+                self._values[key] = decision
+                self.preloaded += 1
+
+    def snapshot(self) -> dict[tuple, FiringDecision]:
+        """A point-in-time copy of the decided edges (for persistence)."""
+        with self._lock:
+            return dict(self._values)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._values),
+                "hits": self.hits,
+                "misses": self.misses,
+                "waits": self.waits,
+                "preloaded": self.preloaded,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+_SHARED_CACHE: ContextVar[DecisionCache | None] = ContextVar(
+    "repro_shared_firing_cache", default=None
+)
+
+
+def current_firing_cache() -> DecisionCache | None:
+    """The decision cache installed for the current dynamic scope."""
+    return _SHARED_CACHE.get()
+
+
+@contextmanager
+def shared_firing_cache(
+    cache: DecisionCache | None = None,
+) -> Iterator[DecisionCache]:
+    """Install a decision cache shared by every oracle in the scope."""
+    cache = DecisionCache() if cache is None else cache
+    token = _SHARED_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _SHARED_CACHE.reset(token)
+
+
+@contextmanager
+def no_firing_cache() -> Iterator[None]:
+    """Suppress any enclosing shared cache for the scope.
+
+    The ``backend="isolated"`` reference path of the classification
+    portfolio uses this so each criterion recomputes every probe — the
+    recompute baseline the shared-context bench compares against.
+    """
+    token = _SHARED_CACHE.set(None)
+    try:
+        yield
+    finally:
+        _SHARED_CACHE.reset(token)
+
+
 class FiringOracle:
-    """Decides and caches firing-relation edges."""
+    """Decides and caches firing-relation edges.
+
+    ``decisions`` wires the oracle to an explicit :class:`DecisionCache`
+    (the shared-context path); without one the oracle falls back to the
+    scope cache installed by :func:`shared_firing_cache`, and without
+    that it probes uncached.  The per-oracle dicts stay in front of the
+    shared cache as a lock-free fast path, and ``ever_inexact`` is
+    per-oracle so one consumer's truncated probes never flag another's
+    verdict.
+    """
 
     def __init__(
         self,
@@ -77,6 +189,7 @@ class FiringOracle:
         step_variant: str = "standard",
         budget: int = DEFAULT_BUDGET,
         snapshots: str = "savepoint",
+        decisions: DecisionCache | None = None,
     ) -> None:
         self.deps = list(sigma)
         self.step_variant = step_variant
@@ -85,6 +198,7 @@ class FiringOracle:
         # byte-identical across backends (differential-tested), so the
         # shared-cache keys deliberately do not include it.
         self.snapshots = snapshots
+        self._decisions = decisions
         self._precedes_cache: dict[tuple, FiringDecision] = {}
         self._fires_cache: dict[tuple, FiringDecision] = {}
         self.ever_inexact = False
@@ -98,22 +212,40 @@ class FiringOracle:
             self.ever_inexact = True
         return decision.edge
 
+    def _shared(self) -> DecisionCache | None:
+        if self._decisions is not None:
+            return self._decisions
+        return _SHARED_CACHE.get()
+
+    def _probe(
+        self, shared_key: tuple, build: Callable[[], WitnessEngine], method: str
+    ) -> FiringDecision:
+        shared = self._shared()
+        if shared is None:
+            engine = build()
+            return getattr(engine, method)()
+
+        def compute() -> tuple[FiringDecision, bool]:
+            engine = build()
+            decision = getattr(engine, method)()
+            return decision, _deterministic(decision, engine)
+
+        return shared.decide(shared_key, compute)
+
     def precedes(self, r1: AnyDependency, r2: AnyDependency) -> bool:
         """``r1 ≺ r2``."""
         key = (r1, r2)
         decision = self._precedes_cache.get(key)
         if decision is None:
-            shared = _SHARED_CACHE.get()
             shared_key = ("precedes", r1, r2, self.step_variant, self.budget)
-            decision = shared.get(shared_key) if shared is not None else None
-            if decision is None:
-                engine = WitnessEngine(
+            decision = self._probe(
+                shared_key,
+                lambda: WitnessEngine(
                     r1, r2, (), self.step_variant,
                     coerce_budget(self.budget), self.snapshots,
-                )
-                decision = engine.precedes()
-                if shared is not None and _deterministic(decision, engine):
-                    shared[shared_key] = decision
+                ),
+                "precedes",
+            )
             self._precedes_cache[key] = decision
         return self._note(decision)
 
@@ -128,19 +260,17 @@ class FiringOracle:
         key = (r1, r2, frozenset(fulls))
         decision = self._fires_cache.get(key)
         if decision is None:
-            shared = _SHARED_CACHE.get()
             shared_key = (
                 "fires", r1, r2, frozenset(fulls), self.step_variant, self.budget,
             )
-            decision = shared.get(shared_key) if shared is not None else None
-            if decision is None:
-                engine = WitnessEngine(
+            decision = self._probe(
+                shared_key,
+                lambda: WitnessEngine(
                     r1, r2, fulls, self.step_variant,
                     coerce_budget(self.budget), self.snapshots,
-                )
-                decision = engine.fires()
-                if shared is not None and _deterministic(decision, engine):
-                    shared[shared_key] = decision
+                ),
+                "fires",
+            )
             self._fires_cache[key] = decision
         return self._note(decision)
 

@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from ..matching import Homomorphism, homomorphisms
 from ..model.atoms import Atom
 from ..model.instances import Instance
-from ..model.terms import Term
+from ..model.terms import Constant, Null, Term, Variable
 
 __all__ = [
     "Homomorphism",
@@ -81,11 +81,45 @@ def homomorphic_image(atoms: Iterable[Atom], h: Mapping[Term, Term]) -> list[Ato
     return [a.apply(h) for a in atoms]
 
 
+def _term_order(term: Term) -> tuple:
+    """A total, deterministic order on fact terms without stringification.
+
+    Constants sort before nulls before variables; within a kind the
+    identifying attribute decides (constant values are partitioned by
+    type name first, so mixed ``int``/``str`` values never hit an
+    unorderable comparison).
+    """
+    if isinstance(term, Constant):
+        value = term.value
+        if not isinstance(value, (str, int, float, bool)):
+            # Exotic values: rare, but keep the order total.  The "~"
+            # kind tag (no type is named that) keeps a repr from ever
+            # tying with a genuine string constant of the same spelling.
+            return (0, "~" + type(value).__name__, repr(value))
+        return (0, type(value).__name__, value)
+    if isinstance(term, Null):
+        return (1, "", term.label)
+    assert isinstance(term, Variable)
+    return (2, "", term.name)
+
+
+def _atom_order(atom: Atom) -> tuple:
+    """Deterministic structural sort key for atoms (hot path: called once
+    per source atom of every containment check — ``key=str`` used to
+    rebuild the full rendered string here every time)."""
+    return (atom.predicate, atom.arity, tuple(_term_order(t) for t in atom.args))
+
+
 def instance_maps_into(a: Instance, b: Instance) -> Homomorphism | None:
     """A homomorphism from instance ``a`` into instance ``b`` (nulls flexible,
     constants fixed), or None.  This is the homomorphism notion used for
-    universal models."""
-    return find_homomorphism(sorted(a, key=str), b)
+    universal models.
+
+    The source atoms are sorted (structurally, not by rendered string) so
+    the search — and hence the returned homomorphism — is deterministic
+    regardless of the instances' insertion order.
+    """
+    return find_homomorphism(sorted(a, key=_atom_order), b)
 
 
 def homomorphically_equivalent(a: Instance, b: Instance) -> bool:

@@ -52,6 +52,25 @@ class TestClassify:
         )
         assert main(["classify", str(p)]) == 1
 
+    def test_stats_flag(self, sigma3_file, capsys):
+        assert main(["classify", sigma3_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: shared" in out
+        assert "artifacts:" in out and "firing decisions:" in out
+
+    def test_backend_flag(self, sigma3_file, capsys):
+        assert main(["classify", sigma3_file, "--backend", "standalone",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: standalone" in out
+        assert "artifacts:" not in out  # no shared context to report on
+
+    def test_hierarchy_flag(self, sigma3_file, capsys):
+        # WA accepts Σ3, so the contained criteria are filled in.
+        assert main(["classify", sigma3_file, "--hierarchy"]) == 0
+        out = capsys.readouterr().out
+        assert "(⇐ WA)" in out
+
 
 class TestClassifyPortfolio:
     """The portfolio flags: --jobs, --budget-steps, --budget-ms,

@@ -96,6 +96,42 @@ class TestInstanceHomomorphisms:
         assert instance_maps_into(j2, j1) is None
         assert not homomorphically_equivalent(j1, j2)
 
+    def test_insertion_order_does_not_affect_validity(self):
+        # instance_maps_into sorts its source atoms with a structural key
+        # (it used to stringify every atom per call); whatever the
+        # insertion order, the result must be a valid homomorphism and
+        # the same mapping every time.
+        import random
+
+        from repro.homomorphism import homomorphic_image
+
+        facts = parse_facts(
+            'P("a","b") P("b","c") Q("c","d") E("a", _1) E(_2, "d") '
+            'E(_1, _2) R(1) R(2) S(_3, "a", 1)'
+        )
+        target = parse_facts(
+            'P("a","b") P("b","c") Q("c","d") E("a","d") E("d","a") '
+            'E("d","d") R(1) R(2) S("d", "a", 1)'
+        )
+        reference = None
+        atoms = list(facts)
+        for seed in range(6):
+            random.Random(seed).shuffle(atoms)
+            shuffled = Instance(atoms)
+            h = instance_maps_into(shuffled, target)
+            assert h is not None
+            assert set(homomorphic_image(shuffled, h)) <= set(target)
+            if reference is None:
+                reference = h
+            else:
+                assert h == reference
+
+    def test_structural_key_handles_mixed_constant_types(self):
+        # int and str constants in the same position must not raise on
+        # comparison inside the sort.
+        mixed = parse_facts('R(1) R("one") R(2) R("two")')
+        assert instance_maps_into(mixed, mixed) is not None
+
 
 class TestSatisfaction:
     def setup_method(self):
