@@ -28,15 +28,17 @@ corpus outliers simply stay cold.  Only deterministic decisions ever
 reach a :class:`DecisionCache`, so everything snapshotted from one is
 safe to persist.
 
-The store is an append-only ``artifacts.jsonl`` next to the result
-cache's ``results.jsonl``, with the same crash-safety story: one record
-per line, truncated tails skipped, later lines win (they can only *add*
-decisions — decisions are deterministic, so re-derived ones are equal).
+The store rides in the same directory as the result cache and speaks the
+same selectable :mod:`repro.store` backends: the ``artifacts`` table of
+``store.sqlite`` (default — one row per probe, ``INSERT OR IGNORE``
+merge semantics), or the append-only ``artifacts.jsonl`` reference log
+(one record batch per line, truncated tails skipped, later lines can
+only *add* decisions — decisions are deterministic, so re-derived ones
+are equal).
 """
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 from typing import Iterable
@@ -44,6 +46,12 @@ from typing import Iterable
 from ..firing.relations import DecisionCache
 from ..firing.witness import FiringDecision
 from ..model.dependencies import AnyDependency, DependencySet
+from ..store import (
+    BACKENDS,
+    JsonlArtifactBackend,
+    SqliteArtifactBackend,
+    record_identity,
+)
 from .fingerprint import (
     _alpha_unique,
     _dependency_code,
@@ -55,8 +63,6 @@ from .fingerprint import (
 #: behind it) changes: old lines become unreachable, which is the
 #: invalidation we want.
 ARTIFACT_SCHEMA = 1
-
-_ARTIFACTS_NAME = "artifacts.jsonl"
 
 
 def dependency_codes(sigma: DependencySet) -> dict[AnyDependency, str] | None:
@@ -170,83 +176,74 @@ def seed_decisions(
     return seeded
 
 
-def _record_identity(record: dict) -> str:
-    """The probe a record answers (everything but the answer itself)."""
-    return json.dumps(
-        {k: v for k, v in record.items() if k not in ("edge", "exact")},
-        sort_keys=True,
-    )
+#: The probe a record answers (everything but the answer itself) — the
+#: dedup identity both store backends and the codec share.
+_record_identity = record_identity
+
+
+def _artifact_backend(directory: pathlib.Path, backend: str, durable: bool):
+    if backend == "sqlite":
+        return SqliteArtifactBackend(
+            directory, ARTIFACT_SCHEMA, durable=durable
+        )
+    if backend == "jsonl":
+        return JsonlArtifactBackend(
+            directory, ARTIFACT_SCHEMA, durable=durable
+        )
+    raise ValueError(f"unknown store backend {backend!r}; known: {BACKENDS}")
 
 
 class ArtifactStore:
-    """Load-once, append-forever store of per-program decision records.
+    """Per-program decision records, fronted by the selected backend.
 
     Mirrors :class:`~repro.batch.cache.ResultCache`'s lifecycle (same
-    directory, sibling file) but merges rather than replaces: lines for
-    the same program key accumulate decisions, deduplicated by probe.
+    directory, same store file or a sibling log) but merges rather than
+    replaces: writes for the same program key accumulate decisions,
+    deduplicated by probe.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        backend: str = "sqlite",
+        durable: bool = True,
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._entries: dict[str, dict[str, dict]] = {}
-        self._fh = None
-        self._load()
+        self.backend = backend
+        self._backend = _artifact_backend(self.directory, backend, durable)
 
     @property
     def path(self) -> pathlib.Path:
-        return self.directory / _ARTIFACTS_NAME
+        """The backend's on-disk file (``store.sqlite`` / ``artifacts.jsonl``)."""
+        return self._backend.path
 
-    def _load(self) -> None:
-        from ..io import iter_jsonl
+    @property
+    def schema_version(self) -> int:
+        return ARTIFACT_SCHEMA
 
-        if not self.path.exists():
-            return
-        for _, line in iter_jsonl(self.path.read_text()):
-            if line is None or line.get("schema") != ARTIFACT_SCHEMA:
-                continue
-            key = line.get("key")
-            records = line.get("oracle")
-            if not isinstance(key, str) or not isinstance(records, list):
-                continue
-            merged = self._entries.setdefault(key, {})
-            for record in records:
-                merged[_record_identity(record)] = record
+    @property
+    def imported(self) -> int:
+        return self._backend.imported
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._backend.programs()
 
     def get(self, key: str) -> list[dict]:
         """Every stored decision record for the program ``key``."""
-        return list(self._entries.get(key, {}).values())
+        return self._backend.get(key)
 
     def put(self, key: str, records: list[dict]) -> int:
-        """Append the records not already stored; returns how many were new."""
-        from ..io import jsonl_dumps
+        """Store the records not already present; returns how many were new."""
+        return self._backend.put(key, records)
 
-        merged = self._entries.setdefault(key, {})
-        fresh = []
-        for record in records:
-            identity = _record_identity(record)
-            if identity not in merged:
-                merged[identity] = record
-                fresh.append(record)
-        if fresh:
-            if self._fh is None:
-                self._fh = self.path.open("a", encoding="utf-8")
-            self._fh.write(
-                jsonl_dumps(
-                    {"schema": ARTIFACT_SCHEMA, "key": key, "oracle": fresh}
-                )
-                + "\n"
-            )
-            self._fh.flush()
-        return len(fresh)
+    def entries(self):
+        """Every program's merged records as ``(key, records)`` — the
+        export interface (:mod:`repro.store.port`)."""
+        return self._backend.entries()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._backend.close()
 
     def __enter__(self) -> "ArtifactStore":
         return self
@@ -255,4 +252,7 @@ class ArtifactStore:
         self.close()
 
     def __repr__(self) -> str:
-        return f"ArtifactStore({str(self.directory)!r}, {len(self)} programs)"
+        return (
+            f"ArtifactStore({str(self.directory)!r}, {self.backend}, "
+            f"{len(self)} programs)"
+        )

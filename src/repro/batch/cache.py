@@ -1,16 +1,21 @@
 """The on-disk, content-addressed result cache of the batch engine.
 
-One cache is one directory holding ``results.jsonl``: an append-only log
-of evaluation records, one JSON object per line (via
-:func:`repro.io.jsonl_dumps`).  Append-only is what makes the cache
-crash-safe and resumable — an interrupted run leaves at worst one
-truncated final line, which the loader counts and skips — and JSONL keeps
-it greppable and diffable.
+One cache is one directory, persisted by a selectable
+:mod:`repro.store` backend:
 
-Every line carries three envelope fields next to the payload:
+* ``sqlite`` (default) — the embedded ``store.sqlite`` (WAL,
+  ``synchronous=NORMAL``, ``busy_timeout``; DESIGN.md §7).  Opens in
+  O(1), serves point lookups and the filter/sort/paginate query surface
+  from indexes, and tolerates concurrent writer processes.  A legacy
+  JSONL directory migrates itself on first open.
+* ``jsonl`` — the original append-only ``results.jsonl`` log, replayed
+  in full on open.  The differential reference backend and the
+  import/export interchange format.
+
+Every entry carries three envelope fields next to the payload:
 
 * ``schema`` — :data:`SCHEMA_VERSION`; entries written under another
-  version are *stale* and ignored on load (bumping the constant is the
+  version are *stale* and ignored (bumping the constant is the
   cache-wide invalidation switch — required whenever the record payload
   or the evaluation semantics behind it change);
 * ``key`` — the program's canonical content fingerprint
@@ -20,9 +25,10 @@ Every line carries three envelope fields next to the payload:
   params to match: re-running with a different budget never reuses a
   verdict obtained under the old one.
 
-Duplicate keys can legitimately occur (two interleaved runs, or a
-``put`` racing a crash); the loader keeps the *last* record, matching
-"the log is the truth, later writes win".
+Writes are acknowledged durably: ``put`` returns only after the record
+would survive a SIGKILL of the writer (a committed sqlite transaction, a
+flushed-and-fsynced JSONL line).  Duplicate keys resolve last-write-wins
+in both backends — "the log is the truth, later writes win".
 """
 
 from __future__ import annotations
@@ -30,15 +36,18 @@ from __future__ import annotations
 import os
 import pathlib
 from dataclasses import dataclass
-from typing import IO
 
-from ..io import iter_jsonl, jsonl_dumps
+from ..store import (
+    BACKENDS,
+    JsonlResultBackend,
+    QueryPage,
+    ResultQuery,
+    SqliteResultBackend,
+)
 
 #: Version of the cache record schema *and* of the evaluation semantics
 #: producing the payloads.  Any change to either must bump this.
 SCHEMA_VERSION = 1
-
-_RESULTS_NAME = "results.jsonl"
 
 
 @dataclass
@@ -48,6 +57,7 @@ class CacheStats:
     loaded: int = 0          # live entries available after load
     corrupted: int = 0       # unparseable lines skipped
     stale_schema: int = 0    # entries under another SCHEMA_VERSION
+    imported: int = 0        # legacy JSONL entries migrated on open
     hits: int = 0
     misses: int = 0
     params_misses: int = 0   # key present but evaluated under other params
@@ -58,49 +68,56 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class ResultCache:
-    """Load-once, append-forever view of one cache directory."""
+def _result_backend(
+    directory: pathlib.Path, backend: str, durable: bool
+):
+    if backend == "sqlite":
+        return SqliteResultBackend(directory, SCHEMA_VERSION, durable=durable)
+    if backend == "jsonl":
+        return JsonlResultBackend(directory, SCHEMA_VERSION, durable=durable)
+    raise ValueError(f"unknown store backend {backend!r}; known: {BACKENDS}")
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+
+class ResultCache:
+    """One cache directory, fronted by the selected store backend."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        backend: str = "sqlite",
+        durable: bool = True,
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.stats = CacheStats()
-        self._entries = {}
-        self._fh = None
-        self._load()
+        self.backend = backend
+        self._backend = _result_backend(self.directory, backend, durable)
+        self.stats = CacheStats(
+            loaded=self._backend.loaded,
+            corrupted=self._backend.corrupted,
+            stale_schema=self._backend.stale_schema,
+            imported=self._backend.imported,
+        )
 
     @property
     def path(self) -> pathlib.Path:
-        return self.directory / _RESULTS_NAME
+        """The backend's on-disk file (``store.sqlite`` / ``results.jsonl``)."""
+        return self._backend.path
 
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        for _, record in iter_jsonl(self.path.read_text()):
-            if record is None:
-                self.stats.corrupted += 1
-                continue
-            if record.get("schema") != SCHEMA_VERSION:
-                self.stats.stale_schema += 1
-                continue
-            key = record.get("key")
-            if not isinstance(key, str):
-                self.stats.corrupted += 1
-                continue
-            self._entries[key] = record
-        self.stats.loaded = len(self._entries)
+    @property
+    def schema_version(self) -> int:
+        return SCHEMA_VERSION
 
     # -- access ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._backend.count()
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        return self._backend.contains(key)
 
     def get(self, key: str, params: str) -> dict | None:
         """The cached payload for ``(key, params)``, or None (a miss)."""
-        entry = self._entries.get(key)
+        entry = self._backend.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
@@ -112,28 +129,37 @@ class ResultCache:
         return entry["record"]
 
     def put(self, key: str, params: str, record: dict) -> None:
-        """Append one record and make it immediately visible and durable.
+        """Store one record, durably, visible to ``get`` immediately.
 
-        Durability is per line: the line is flushed before ``put``
-        returns, so a later SIGINT cannot lose it — this is what lets an
-        interrupted batch run resume exactly where it stopped.
+        Durability is per record: when ``put`` returns, the record
+        survives a SIGKILL of this process — this is what lets an
+        interrupted batch run resume exactly where it stopped, and what
+        the crash-injection suite (``tests/test_store_crash.py``) pins.
         """
-        entry = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "params": params,
-            "record": record,
-        }
-        if self._fh is None:
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(jsonl_dumps(entry) + "\n")
-        self._fh.flush()
-        self._entries[key] = entry
+        self._backend.put(
+            {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "params": params,
+                "record": record,
+            }
+        )
+
+    # -- the query surface ---------------------------------------------------
+
+    def query(self, q: ResultQuery | None = None, **kwargs) -> QueryPage:
+        """Filter/sort/paginate stored verdicts (see repro.store.query)."""
+        if q is None:
+            q = ResultQuery(**kwargs)
+        return self._backend.query(q)
+
+    def entries(self):
+        """Every live entry as ``(seq, envelope)`` in write order — the
+        export interface (:mod:`repro.store.port`)."""
+        return self._backend.entries()
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._backend.close()
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -142,4 +168,7 @@ class ResultCache:
         self.close()
 
     def __repr__(self) -> str:
-        return f"ResultCache({str(self.directory)!r}, {len(self)} entries)"
+        return (
+            f"ResultCache({str(self.directory)!r}, {self.backend}, "
+            f"{len(self)} entries)"
+        )

@@ -70,6 +70,11 @@ class BatchConfig:
     mode: str = "evaluate"
     jobs: int = 1
     cache_dir: str | os.PathLike | None = None
+    #: Store backend behind the cache directory: "sqlite" (embedded
+    #: store.sqlite, the default) or "jsonl" (the append-only reference
+    #: logs).  Selects representation only — never record content — so it
+    #: deliberately stays out of params_key().
+    store: str = "sqlite"
     shard: tuple[int, int] | None = None
     resume: bool = True
     budget_steps: int | None = None
@@ -78,8 +83,14 @@ class BatchConfig:
     criteria: list[str] | None = None  # classify mode only
 
     def __post_init__(self) -> None:
+        from ..store import BACKENDS
+
         if self.mode not in MODES:
             raise ValueError(f"unknown batch mode {self.mode!r}; known: {MODES}")
+        if self.store not in BACKENDS:
+            raise ValueError(
+                f"unknown store backend {self.store!r}; known: {BACKENDS}"
+            )
         if self.shard is not None:
             index, count = self.shard
             if count < 1 or not 0 <= index < count:
@@ -378,7 +389,15 @@ def evaluate_corpus(
     config = config or BatchConfig()
     params = config.params_key()
     report = BatchReport(mode=config.mode)
-    cache = ResultCache(config.cache_dir) if config.cache_dir is not None else None
+    # Workers never see these handles: the parent is the only writer, and
+    # the sqlite backend's connections are pid-guarded anyway (a handle
+    # inherited across the pool's fork reopens in the child rather than
+    # sharing the parent's connection).
+    cache = (
+        ResultCache(config.cache_dir, backend=config.store)
+        if config.cache_dir is not None
+        else None
+    )
     # The artifact store rides next to the result cache: classify misses
     # (new programs, or old programs under new evaluation parameters)
     # warm-start their firing-decision layer from earlier runs.
@@ -386,7 +405,7 @@ def evaluate_corpus(
     if cache is not None and config.mode == "classify":
         from .artifacts import ArtifactStore
 
-        store = ArtifactStore(config.cache_dir)
+        store = ArtifactStore(config.cache_dir, backend=config.store)
 
     # Fingerprint everything up front (cheap, pure) and decide each
     # program's fate: other shard / cache hit / needs computing.

@@ -22,7 +22,18 @@ Commands
     Batch-evaluate many programs through the sharded, content-addressed
     result cache (``repro.batch``): ``--jobs`` fans out over processes,
     ``--cache-dir`` makes re-runs incremental and interrupted runs
-    resumable, ``--shard I/N`` splits the key space across machines.
+    resumable, ``--shard I/N`` splits the key space across machines,
+    ``--store sqlite|jsonl`` selects the cache's backend (DESIGN.md §7).
+
+``batch query --cache-dir DIR``
+    Filter/sort/paginate the verdicts stored in a cache directory
+    (keyset cursors — the surface a result-serving API sits on).
+
+``batch export-jsonl | batch import-jsonl``
+    Move a cache directory to/from the portable JSONL snapshot format.
+
+(``batch FILE...`` is shorthand for ``batch run FILE...`` — the bare
+form stays the way it always was.)
 
 Dependency files use the syntax of :mod:`repro.model.parser`; facts files
 contain atoms such as ``N("a") E("a","b")``.
@@ -199,6 +210,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         mode=args.mode,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        store=args.store,
         shard=_parse_shard(args.shard),
         resume=args.resume,
         budget_steps=args.budget_steps,
@@ -216,6 +228,111 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not report.complete:
         return 1
     return 2 if report.any_exhausted else 0
+
+
+def _open_store(args) -> tuple:
+    """The (ResultCache, ArtifactStore) pair of a cache directory."""
+    from .batch import ArtifactStore, ResultCache
+
+    cache = ResultCache(args.cache_dir, backend=args.store)
+    store = ArtifactStore(args.cache_dir, backend=args.store)
+    return cache, store
+
+
+def cmd_batch_export(args: argparse.Namespace) -> int:
+    """Snapshot a cache directory as portable JSONL files."""
+    from .store import export_jsonl
+
+    cache, store = _open_store(args)
+    try:
+        results_text, artifacts_text, report = export_jsonl(cache, store)
+    finally:
+        cache.close()
+        store.close()
+    if args.output is None:
+        sys.stdout.write(results_text)
+        print(f"exported {report.summary()}", file=sys.stderr)
+        return 0
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "results.jsonl").write_text(results_text)
+    (out / "artifacts.jsonl").write_text(artifacts_text)
+    print(f"exported {report.summary()} to {out}")
+    return 0
+
+
+def cmd_batch_import(args: argparse.Namespace) -> int:
+    """Replay JSONL snapshots into a cache directory's store."""
+    from .store import import_jsonl
+
+    source = pathlib.Path(args.input if args.input else args.cache_dir)
+    results_path = source / "results.jsonl"
+    artifacts_path = source / "artifacts.jsonl"
+    if not results_path.exists() and not artifacts_path.exists():
+        raise SystemExit(f"nothing to import: no JSONL snapshot in {source}")
+    cache, store = _open_store(args)
+    try:
+        report = import_jsonl(
+            cache,
+            results_path.read_text() if results_path.exists() else "",
+            store,
+            artifacts_path.read_text() if artifacts_path.exists() else "",
+        )
+    finally:
+        cache.close()
+        store.close()
+    print(f"imported {report.summary()} into {args.cache_dir}")
+    return 0
+
+
+def cmd_batch_query(args: argparse.Namespace) -> int:
+    """Query the stored verdicts of a cache directory.
+
+    Exit 0 with rows on stdout; the keyset cursor for the next page (if
+    any) goes to stderr so piped output stays clean.
+    """
+    from .batch import ResultCache
+    from .io import jsonl_dumps
+    from .store import QueryError, ResultQuery
+
+    cache = ResultCache(args.cache_dir, backend=args.store)
+    try:
+        page = cache.query(
+            ResultQuery(
+                verdict=args.verdict,
+                criterion=args.criterion,
+                exhausted=args.exhausted,
+                key_prefix=args.key_prefix,
+                sort=args.sort,
+                limit=args.limit,
+                cursor=args.cursor,
+            )
+        )
+    except QueryError as exc:
+        raise SystemExit(f"bad query: {exc}")
+    finally:
+        cache.close()
+    if args.format == "jsonl":
+        for row in page.rows:
+            print(jsonl_dumps(row))
+    else:
+        head = (
+            f"{'key':<16} {'program':<24} {'verdict':<44} "
+            f"{'budget':>6} {'ms':>8}"
+        )
+        print(head)
+        print("-" * len(head))
+        for row in page.rows:
+            print(
+                f"{row['key'][:16]:<16} {row['name']:<24} "
+                f"{row['verdict']:<44} "
+                f"{row['exhausted'] or '':>6} {row['elapsed_ms']:>8.1f}"
+            )
+        print("-" * len(head))
+        print(f"{len(page.rows)} rows")
+    if page.next_cursor is not None:
+        print(f"next cursor: {page.next_cursor}", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
         "batch",
         help="batch-evaluate many programs (sharded, content-addressed cache)",
     )
+    bsub = p.add_subparsers(dest="batch_command", required=True)
+
+    p = bsub.add_parser(
+        "run",
+        help="evaluate programs (the default: 'batch FILE...' means "
+             "'batch run FILE...')",
+    )
     p.add_argument("files", nargs="*",
                    help="dependency files; omit when using --corpus")
     p.add_argument("--corpus", action="store_true",
@@ -280,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="content-addressed result cache; re-runs only "
                         "evaluate new or changed programs")
+    p.add_argument("--store", default="sqlite", choices=["sqlite", "jsonl"],
+                   help="cache backend: the embedded sqlite store "
+                        "(default) or the append-only JSONL reference "
+                        "logs")
     p.add_argument("--shard", metavar="I/N",
                    help="evaluate only the programs in key-space shard I "
                         "of N (deterministic; for multi-machine runs)")
@@ -298,6 +426,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--criteria", metavar="A,B",
                    help="criterion subset (classify mode)")
     p.set_defaults(func=cmd_batch)
+
+    p = bsub.add_parser(
+        "export-jsonl",
+        help="snapshot a cache directory as portable JSONL files",
+    )
+    p.add_argument("--cache-dir", required=True, metavar="DIR")
+    p.add_argument("--store", default="sqlite", choices=["sqlite", "jsonl"],
+                   help="backend to export from (default sqlite)")
+    p.add_argument("--output", metavar="DIR",
+                   help="write results.jsonl/artifacts.jsonl here "
+                        "(default: results to stdout)")
+    p.set_defaults(func=cmd_batch_export)
+
+    p = bsub.add_parser(
+        "import-jsonl",
+        help="replay a JSONL snapshot into a cache directory's store",
+    )
+    p.add_argument("--cache-dir", required=True, metavar="DIR")
+    p.add_argument("--store", default="sqlite", choices=["sqlite", "jsonl"],
+                   help="backend to import into (default sqlite)")
+    p.add_argument("--input", metavar="DIR",
+                   help="directory holding results.jsonl/artifacts.jsonl "
+                        "(default: the cache dir itself)")
+    p.set_defaults(func=cmd_batch_import)
+
+    p = bsub.add_parser(
+        "query",
+        help="filter/sort/paginate the verdicts stored in a cache",
+    )
+    p.add_argument("--cache-dir", required=True, metavar="DIR")
+    p.add_argument("--store", default="sqlite", choices=["sqlite", "jsonl"])
+    p.add_argument("--verdict", metavar="V",
+                   help="exact headline verdict, e.g. 'WA' or 'rejected'")
+    p.add_argument("--criterion", metavar="C",
+                   help="only programs accepted by this criterion")
+    p.add_argument("--exhausted", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="only budget-exhausted records "
+                        "(--no-exhausted: only trusted ones)")
+    p.add_argument("--key-prefix", metavar="HEX",
+                   help="fingerprint prefix filter")
+    p.add_argument("--sort", default="seq", metavar="FIELD",
+                   help="seq|name|verdict|elapsed_ms|key, "
+                        "'-' prefix for descending (default: seq)")
+    p.add_argument("--limit", type=int, default=50, metavar="N")
+    p.add_argument("--cursor", metavar="CUR",
+                   help="keyset cursor from a previous page's stderr")
+    p.add_argument("--format", default="table", choices=["table", "jsonl"])
+    p.set_defaults(func=cmd_batch_query)
 
     p = sub.add_parser("chase", help="run one chase sequence")
     p.add_argument("file")
@@ -329,9 +506,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``batch`` subcommands; any other first token after ``batch`` is
+#: treated as a program file for the implicit ``run`` subcommand.
+_BATCH_SUBCOMMANDS = ("run", "export-jsonl", "import-jsonl", "query")
+
+
+def _normalise_argv(argv: list[str]) -> list[str]:
+    """Insert the implicit ``run`` so ``batch FILE...`` keeps working."""
+    if (
+        argv
+        and argv[0] == "batch"
+        and (len(argv) == 1
+             or argv[1] not in _BATCH_SUBCOMMANDS + ("-h", "--help"))
+    ):
+        return [argv[0], "run", *argv[1:]]
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_normalise_argv(argv))
     return args.func(args)
 
 

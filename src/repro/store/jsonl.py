@@ -1,0 +1,197 @@
+"""The append-only JSONL backend — the original store representation.
+
+Retained for two jobs: as the *differential reference backend* (its
+semantics are the simplest possible correct ones: an append-only log,
+replayed in full on open, last write per key wins), and as the
+import/export interchange format for the sqlite backend.
+
+Durability contract (the acknowledged-write guarantee): ``put`` returns
+only after the line has been flushed **and fsynced**.  A writer killed at
+any instant — even SIGKILL mid-``write`` — loses at most the one record
+whose ``put`` had not yet returned, never a record the caller was told
+about; the torn final line is counted and skipped on reload.  (Before
+this, ``put`` only flushed to the OS page cache: safe against a process
+crash, not against the machine going down with an acknowledged record
+still unsynced.)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from ..io import iter_jsonl, jsonl_dumps
+from .query import ResultQuery, index_row, query_rows, record_identity
+
+RESULTS_NAME = "results.jsonl"
+ARTIFACTS_NAME = "artifacts.jsonl"
+
+
+class _AppendLog:
+    """A durably appended JSONL file (open lazily, fsync per line)."""
+
+    def __init__(self, path: pathlib.Path, durable: bool = True) -> None:
+        self.path = path
+        self.durable = durable
+        self._fh = None
+
+    def append(self, line: str) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.durable:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class JsonlResultBackend:
+    """Load-once, append-forever result entries in ``results.jsonl``."""
+
+    name = "jsonl"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        schema_version: int,
+        durable: bool = True,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.schema_version = schema_version
+        self.path = self.directory / RESULTS_NAME
+        self._log = _AppendLog(self.path, durable=durable)
+        self._entries: dict[str, dict] = {}
+        self._seq: dict[str, int] = {}
+        self._next_seq = 1
+        self.loaded = 0
+        self.corrupted = 0
+        self.stale_schema = 0
+        self.imported = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for _, entry in iter_jsonl(self.path.read_text()):
+            if entry is None:
+                self.corrupted += 1
+                continue
+            if entry.get("schema") != self.schema_version:
+                self.stale_schema += 1
+                continue
+            key = entry.get("key")
+            if not isinstance(key, str):
+                self.corrupted += 1
+                continue
+            self._entries[key] = entry
+            self._seq[key] = self._next_seq
+            self._next_seq += 1
+        self.loaded = len(self._entries)
+
+    # -- the backend contract ----------------------------------------------
+
+    def count(self) -> int:
+        return len(self._entries)
+
+    def contains(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> dict | None:
+        return self._entries.get(key)
+
+    def put(self, entry: dict) -> None:
+        self._log.append(jsonl_dumps(entry))
+        key = entry["key"]
+        self._entries[key] = entry
+        self._seq[key] = self._next_seq
+        self._next_seq += 1
+
+    def entries(self):
+        """Every live entry as ``(seq, entry)``, in write order."""
+        return sorted(
+            ((self._seq[k], e) for k, e in self._entries.items()),
+            key=lambda pair: pair[0],
+        )
+
+    def rows(self) -> list[dict]:
+        return [index_row(seq, entry) for seq, entry in self.entries()]
+
+    def query(self, q: ResultQuery):
+        return query_rows(self.rows(), q)
+
+    def close(self) -> None:
+        self._log.close()
+
+
+class JsonlArtifactBackend:
+    """Per-program decision records in ``artifacts.jsonl`` (merge, not
+    replace: lines for one key accumulate, deduplicated by probe)."""
+
+    name = "jsonl"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        schema_version: int,
+        durable: bool = True,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.schema_version = schema_version
+        self.path = self.directory / ARTIFACTS_NAME
+        self._log = _AppendLog(self.path, durable=durable)
+        self._entries: dict[str, dict[str, dict]] = {}
+        self.imported = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for _, line in iter_jsonl(self.path.read_text()):
+            if line is None or line.get("schema") != self.schema_version:
+                continue
+            key = line.get("key")
+            records = line.get("oracle")
+            if not isinstance(key, str) or not isinstance(records, list):
+                continue
+            merged = self._entries.setdefault(key, {})
+            for record in records:
+                merged[record_identity(record)] = record
+
+    # -- the backend contract ----------------------------------------------
+
+    def programs(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> list[dict]:
+        return list(self._entries.get(key, {}).values())
+
+    def put(self, key: str, records: list[dict]) -> int:
+        merged = self._entries.setdefault(key, {})
+        fresh = []
+        for record in records:
+            identity = record_identity(record)
+            if identity not in merged:
+                merged[identity] = record
+                fresh.append(record)
+        if fresh:
+            self._log.append(
+                jsonl_dumps(
+                    {"schema": self.schema_version, "key": key, "oracle": fresh}
+                )
+            )
+        return len(fresh)
+
+    def entries(self):
+        """Every program's merged records as ``(key, records)``, sorted
+        by probe identity — byte-identical to the sqlite backend's
+        iteration, so exports of equivalent stores are equal."""
+        for key in sorted(self._entries):
+            merged = self._entries[key]
+            yield key, [merged[identity] for identity in sorted(merged)]
+
+    def close(self) -> None:
+        self._log.close()

@@ -1,0 +1,112 @@
+"""Import/export between a live store and the JSONL interchange format.
+
+The JSONL representation (``results.jsonl`` + ``artifacts.jsonl``, the
+formats of :mod:`repro.store.jsonl`) is the store's portability contract:
+
+* an **export** is a normalised snapshot — live entries only, one line
+  per result key (last write wins has already been applied), artifact
+  records merged and sorted by probe identity.  Exporting a jsonl-backend
+  store therefore compacts it; exporting a sqlite store produces the file
+  a jsonl store would have converged to;
+* an **import** replays a JSONL snapshot through the ordinary ``put``
+  path of whatever backend the target store uses — entries under a
+  different schema version and torn/corrupt lines are counted and
+  skipped, exactly as the jsonl loader would.  Importing is idempotent
+  (result puts are last-write-wins, artifact puts deduplicate by probe).
+
+These functions operate on the :class:`~repro.batch.cache.ResultCache` /
+:class:`~repro.batch.artifacts.ArtifactStore` facades, so they move data
+between *any* two backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..io import iter_jsonl, jsonl_dumps
+
+
+@dataclass
+class PortReport:
+    """What an import/export moved (and what it refused)."""
+
+    results: int = 0
+    artifacts: int = 0       # individual decision records
+    programs: int = 0        # programs those records belong to
+    skipped: int = 0         # stale-schema or corrupt lines
+
+    def summary(self) -> str:
+        bits = [f"{self.results} result records"]
+        if self.programs:
+            bits.append(
+                f"{self.artifacts} firing decisions "
+                f"across {self.programs} programs"
+            )
+        if self.skipped:
+            bits.append(f"{self.skipped} lines skipped (stale or corrupt)")
+        return ", ".join(bits)
+
+
+def export_jsonl(cache, store=None) -> tuple[str, str, PortReport]:
+    """Render a store as ``(results_text, artifacts_text, report)``.
+
+    ``cache`` is a result facade/backend exposing ``entries()`` and
+    ``schema_version``; ``store`` (optional) the artifact counterpart.
+    Either text is ``""`` when there is nothing to export.
+    """
+    report = PortReport()
+    result_lines = []
+    for _, entry in cache.entries():
+        result_lines.append(jsonl_dumps(entry))
+        report.results += 1
+    artifact_lines = []
+    if store is not None:
+        for key, records in store.entries():
+            artifact_lines.append(
+                jsonl_dumps(
+                    {
+                        "schema": store.schema_version,
+                        "key": key,
+                        "oracle": records,
+                    }
+                )
+            )
+            report.programs += 1
+            report.artifacts += len(records)
+    results_text = "\n".join(result_lines) + "\n" if result_lines else ""
+    artifacts_text = "\n".join(artifact_lines) + "\n" if artifact_lines else ""
+    return results_text, artifacts_text, report
+
+
+def import_jsonl(
+    cache,
+    results_text: str = "",
+    store=None,
+    artifacts_text: str = "",
+) -> PortReport:
+    """Replay JSONL snapshots into a store through its ``put`` path."""
+    report = PortReport()
+    for _, entry in iter_jsonl(results_text):
+        if (
+            entry is None
+            or entry.get("schema") != cache.schema_version
+            or not isinstance(entry.get("key"), str)
+            or not isinstance(entry.get("record"), dict)
+        ):
+            report.skipped += 1
+            continue
+        cache.put(entry["key"], entry.get("params", ""), entry["record"])
+        report.results += 1
+    if store is not None:
+        for _, line in iter_jsonl(artifacts_text):
+            if line is None or line.get("schema") != store.schema_version:
+                report.skipped += 1
+                continue
+            key = line.get("key")
+            records = line.get("oracle")
+            if not isinstance(key, str) or not isinstance(records, list):
+                report.skipped += 1
+                continue
+            report.artifacts += store.put(key, records)
+            report.programs += 1
+    return report

@@ -1,0 +1,471 @@
+"""The embedded SQLite backend: one ``store.sqlite`` per cache directory.
+
+Configuration follows the WAL recipe the ROADMAP names as the exemplar
+(Paper-Scanner's ``sqlite_ext.py``): ``journal_mode=WAL`` so readers
+never block the one writer, ``synchronous=NORMAL`` (durable against
+process crashes — a committed transaction survives SIGKILL; the fsync
+saved per commit is only at risk if the whole machine goes down between
+checkpoints), ``busy_timeout`` so concurrent writers queue instead of
+failing with ``database is locked``, ``foreign_keys=ON`` as a matter of
+hygiene.
+
+Fork-safety: SQLite connections must not be used across ``fork`` (the
+batch engine's process pool forks workers while the parent holds the
+store open).  Every backend therefore reaches its connection through a
+pid-guarded handle: a handle inherited by a forked child *abandons* the
+parent's connection — without closing it, which would write to the
+parent's WAL from the child — and lazily opens its own.
+
+Schema (DESIGN.md §7): ``results`` holds one live row per
+``(schema, key)`` — ``INSERT OR REPLACE`` gives last-write-wins exactly
+like the JSONL log, and re-mints ``seq`` so a rewrite moves the row to
+the end of insertion order — with the queryable projection (name,
+verdict, accepting criteria, exhaustion, wall-clock) denormalised into
+indexed columns next to the full JSON ``entry``.  ``artifacts`` holds one
+row per ``(schema, key, probe identity)``; ``INSERT OR IGNORE`` gives the
+merge-not-replace semantics of the JSONL artifact log.  Rows written
+under another schema version simply stop matching the ``schema = ?``
+predicate every read carries — the same invalidation switch as the JSONL
+loader, without a rewrite.
+
+A legacy JSONL directory opened with this backend migrates itself: when
+the table is empty for the current schema version and the sibling
+``results.jsonl``/``artifacts.jsonl`` exists, its live entries are
+imported in one transaction.  The JSONL files are left untouched (they
+remain the export of record until the next explicit export).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+
+from ..io import iter_jsonl
+from .query import (
+    QueryPage,
+    ResultQuery,
+    decode_cursor,
+    encode_cursor,
+    index_row,
+    record_identity,
+)
+
+#: How long a writer waits for the database lock before giving up.  With
+#: per-record transactions every wait is short; 30s is the Paper-Scanner
+#: value and survives heavily oversubscribed stress runs.
+BUSY_TIMEOUT_MS = 30_000
+
+STORE_NAME = "store.sqlite"
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS results (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema     INTEGER NOT NULL,
+    key        TEXT    NOT NULL,
+    params     TEXT    NOT NULL,
+    name       TEXT    NOT NULL DEFAULT '',
+    verdict    TEXT    NOT NULL DEFAULT '',
+    accepted   TEXT    NOT NULL DEFAULT '',
+    exhausted  TEXT,
+    elapsed_ms REAL    NOT NULL DEFAULT 0.0,
+    entry      TEXT    NOT NULL,
+    UNIQUE (schema, key)
+);
+CREATE INDEX IF NOT EXISTS results_by_verdict
+    ON results (schema, verdict, seq);
+CREATE INDEX IF NOT EXISTS results_by_name
+    ON results (schema, name, seq);
+CREATE TABLE IF NOT EXISTS artifacts (
+    schema   INTEGER NOT NULL,
+    key      TEXT    NOT NULL,
+    identity TEXT    NOT NULL,
+    record   TEXT    NOT NULL,
+    PRIMARY KEY (schema, key, identity)
+);
+"""
+
+
+class StoreError(RuntimeError):
+    """The embedded store cannot serve (misuse or environment trouble)."""
+
+
+class StoreCorruptionError(StoreError):
+    """The database file is damaged beyond SQLite's own recovery.
+
+    WAL recovery handles torn writes by itself (the log has per-frame
+    checksums; a torn tail is dropped cleanly on the next open).  This
+    error means the *main* database file is broken — restore the
+    directory from its JSONL export (``repro batch import-jsonl``).
+    """
+
+
+def connect(path: str | os.PathLike) -> sqlite3.Connection:
+    """Open ``path`` with the store's pragma recipe applied.
+
+    ``isolation_level=None`` puts the connection in autocommit mode:
+    every statement is its own durable transaction unless an explicit
+    ``BEGIN`` is issued — which is exactly the per-record durability the
+    cache acknowledges to callers.
+    """
+    conn = sqlite3.connect(
+        str(path), timeout=BUSY_TIMEOUT_MS / 1000.0, isolation_level=None
+    )
+    try:
+        conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = NORMAL")
+        conn.execute("PRAGMA foreign_keys = ON")
+    except sqlite3.DatabaseError as exc:
+        conn.close()
+        raise StoreCorruptionError(
+            f"{path} is not a usable SQLite store ({exc}); restore it "
+            f"from a JSONL export (repro batch import-jsonl)"
+        ) from exc
+    return conn
+
+
+class _Handle:
+    """A pid-guarded lazy connection: never shared across ``fork``."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+
+    def conn(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            # An inherited connection is abandoned, not closed: closing
+            # would have the child write to the parent's open WAL.
+            self._conn = None
+            self._conn = connect(self.path)
+            self._pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None
+
+
+def _init_schema(handle: _Handle) -> None:
+    try:
+        handle.conn().executescript(_DDL)
+    except sqlite3.DatabaseError as exc:
+        raise StoreCorruptionError(
+            f"{handle.path} is not a usable SQLite store ({exc}); restore "
+            f"it from a JSONL export (repro batch import-jsonl)"
+        ) from exc
+
+
+def _like_escape(text: str) -> str:
+    """Make ``text`` literal inside a ``LIKE ... ESCAPE '\\'`` pattern."""
+    return (
+        text.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+    )
+
+
+def _encode_accepted(accepted: list[str]) -> str:
+    # Comma-fenced so a criterion filter is one indexable LIKE:
+    # ",WA,SC," LIKE "%,WA,%".  Criterion names never contain commas.
+    return "," + ",".join(accepted) + "," if accepted else ""
+
+
+def _decode_accepted(text: str) -> list[str]:
+    return [c for c in text.split(",") if c] if text else []
+
+
+class SqliteResultBackend:
+    """Result entries in the ``results`` table of ``store.sqlite``."""
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        schema_version: int,
+        durable: bool = True,  # sqlite commits are always durable
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.schema_version = schema_version
+        self.path = self.directory / STORE_NAME
+        self._handle = _Handle(self.path)
+        self.corrupted = 0
+        self.stale_schema = 0
+        self.imported = 0
+        _init_schema(self._handle)
+        self._migrate_legacy_jsonl()
+        conn = self._handle.conn()
+        self.loaded = self.count()
+        (self.stale_schema,) = conn.execute(
+            "SELECT COUNT(*) FROM results WHERE schema != ?",
+            (self.schema_version,),
+        ).fetchone()
+
+    def _migrate_legacy_jsonl(self) -> None:
+        legacy = self.directory / "results.jsonl"
+        if self.count() or not legacy.exists():
+            return
+        conn = self._handle.conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            for _, entry in iter_jsonl(legacy.read_text()):
+                if entry is None:
+                    self.corrupted += 1
+                    continue
+                if entry.get("schema") != self.schema_version:
+                    continue  # stale rows are not worth migrating
+                if not isinstance(entry.get("key"), str):
+                    self.corrupted += 1
+                    continue
+                self._insert(conn, entry)
+                self.imported += 1
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def _insert(self, conn: sqlite3.Connection, entry: dict) -> None:
+        row = index_row(0, entry)
+        conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(schema, key, params, name, verdict, accepted, exhausted, "
+            " elapsed_ms, entry) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                entry.get("schema"),
+                row["key"],
+                row["params"],
+                row["name"],
+                row["verdict"],
+                _encode_accepted(row["accepted"]),
+                row["exhausted"],
+                row["elapsed_ms"],
+                json.dumps(entry, sort_keys=True, separators=(",", ":")),
+            ),
+        )
+
+    # -- the backend contract ----------------------------------------------
+
+    def count(self) -> int:
+        (n,) = self._handle.conn().execute(
+            "SELECT COUNT(*) FROM results WHERE schema = ?",
+            (self.schema_version,),
+        ).fetchone()
+        return n
+
+    def contains(self, key: str) -> bool:
+        return (
+            self._handle.conn()
+            .execute(
+                "SELECT 1 FROM results WHERE schema = ? AND key = ?",
+                (self.schema_version, key),
+            )
+            .fetchone()
+            is not None
+        )
+
+    def get(self, key: str) -> dict | None:
+        found = self._handle.conn().execute(
+            "SELECT entry FROM results WHERE schema = ? AND key = ?",
+            (self.schema_version, key),
+        ).fetchone()
+        return json.loads(found[0]) if found else None
+
+    def put(self, entry: dict) -> None:
+        self._insert(self._handle.conn(), entry)
+
+    def entries(self):
+        """Every live entry as ``(seq, entry)``, in write order."""
+        return [
+            (seq, json.loads(text))
+            for seq, text in self._handle.conn().execute(
+                "SELECT seq, entry FROM results WHERE schema = ? "
+                "ORDER BY seq",
+                (self.schema_version,),
+            )
+        ]
+
+    def rows(self) -> list[dict]:
+        return [
+            self._row(raw)
+            for raw in self._handle.conn().execute(
+                "SELECT seq, key, params, name, verdict, accepted, "
+                "exhausted, elapsed_ms FROM results WHERE schema = ? "
+                "ORDER BY seq",
+                (self.schema_version,),
+            )
+        ]
+
+    @staticmethod
+    def _row(raw: tuple) -> dict:
+        seq, key, params, name, verdict, accepted, exhausted, elapsed = raw
+        return {
+            "seq": seq,
+            "key": key,
+            "params": params,
+            "name": name,
+            "verdict": verdict,
+            "accepted": _decode_accepted(accepted),
+            "exhausted": exhausted,
+            "elapsed_ms": elapsed,
+        }
+
+    def query(self, q: ResultQuery) -> QueryPage:
+        """Compile ``q`` to one indexed SELECT (keyset pagination via a
+        row-value comparison against the cursor)."""
+        sort_field, descending = q.order()
+        where = ["schema = ?"]
+        args: list = [self.schema_version]
+        if q.verdict is not None:
+            where.append("verdict = ?")
+            args.append(q.verdict)
+        if q.criterion is not None:
+            where.append("accepted LIKE ? ESCAPE '\\'")
+            args.append(f"%,{_like_escape(q.criterion)},%")
+        if q.exhausted is True:
+            where.append("exhausted IS NOT NULL")
+        elif q.exhausted is False:
+            where.append("exhausted IS NULL")
+        if q.key_prefix is not None:
+            where.append("key LIKE ? ESCAPE '\\'")
+            args.append(_like_escape(q.key_prefix) + "%")
+        if q.cursor is not None:
+            value, seq = decode_cursor(q.cursor, sort_field)
+            op = "<" if descending else ">"
+            where.append(f"({sort_field}, seq) {op} (?, ?)")
+            args.extend([value, seq])
+        order = "DESC" if descending else "ASC"
+        sql = (
+            "SELECT seq, key, params, name, verdict, accepted, exhausted, "
+            f"elapsed_ms FROM results WHERE {' AND '.join(where)} "
+            f"ORDER BY {sort_field} {order}, seq {order} LIMIT ?"
+        )
+        args.append(q.limit + 1)
+        raw = self._handle.conn().execute(sql, args).fetchall()
+        page = [self._row(r) for r in raw[: q.limit]]
+        next_cursor = None
+        if len(raw) > q.limit:
+            next_cursor = encode_cursor(page[-1], sort_field)
+        return QueryPage(rows=page, next_cursor=next_cursor)
+
+    def integrity(self) -> str:
+        """SQLite's own verdict on the file ('ok' when sound)."""
+        (verdict,) = self._handle.conn().execute(
+            "PRAGMA quick_check"
+        ).fetchone()
+        return verdict
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class SqliteArtifactBackend:
+    """Decision records in the ``artifacts`` table of ``store.sqlite``."""
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        schema_version: int,
+        durable: bool = True,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.schema_version = schema_version
+        self.path = self.directory / STORE_NAME
+        self._handle = _Handle(self.path)
+        self.imported = 0
+        _init_schema(self._handle)
+        self._migrate_legacy_jsonl()
+
+    def _migrate_legacy_jsonl(self) -> None:
+        legacy = self.directory / "artifacts.jsonl"
+        if self.programs() or not legacy.exists():
+            return
+        conn = self._handle.conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            for _, line in iter_jsonl(legacy.read_text()):
+                if line is None or line.get("schema") != self.schema_version:
+                    continue
+                key = line.get("key")
+                records = line.get("oracle")
+                if not isinstance(key, str) or not isinstance(records, list):
+                    continue
+                self.imported += self._insert(conn, key, records)
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def _insert(
+        self, conn: sqlite3.Connection, key: str, records: list[dict]
+    ) -> int:
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO artifacts (schema, key, identity, record) "
+            "VALUES (?, ?, ?, ?)",
+            [
+                (
+                    self.schema_version,
+                    key,
+                    record_identity(record),
+                    json.dumps(record, sort_keys=True, separators=(",", ":")),
+                )
+                for record in records
+            ],
+        )
+        return conn.total_changes - before
+
+    # -- the backend contract ----------------------------------------------
+
+    def programs(self) -> int:
+        (n,) = self._handle.conn().execute(
+            "SELECT COUNT(DISTINCT key) FROM artifacts WHERE schema = ?",
+            (self.schema_version,),
+        ).fetchone()
+        return n
+
+    def get(self, key: str) -> list[dict]:
+        return [
+            json.loads(text)
+            for (text,) in self._handle.conn().execute(
+                "SELECT record FROM artifacts WHERE schema = ? AND key = ? "
+                "ORDER BY identity",
+                (self.schema_version, key),
+            )
+        ]
+
+    def put(self, key: str, records: list[dict]) -> int:
+        conn = self._handle.conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            fresh = self._insert(conn, key, records)
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return fresh
+
+    def entries(self):
+        """Every program's merged records as ``(key, records)``."""
+        current: str | None = None
+        bucket: list[dict] = []
+        for key, text in self._handle.conn().execute(
+            "SELECT key, record FROM artifacts WHERE schema = ? "
+            "ORDER BY key, identity",
+            (self.schema_version,),
+        ):
+            if key != current:
+                if current is not None:
+                    yield current, bucket
+                current, bucket = key, []
+            bucket.append(json.loads(text))
+        if current is not None:
+            yield current, bucket
+
+    def close(self) -> None:
+        self._handle.close()

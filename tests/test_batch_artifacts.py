@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.analysis import classify
 from repro.batch import (
     ARTIFACT_SCHEMA,
@@ -160,42 +162,56 @@ class TestCodec:
 
 
 class TestArtifactStore:
-    def test_put_get_and_merge_dedup(self, tmp_path):
-        store = ArtifactStore(tmp_path)
+    @pytest.fixture(params=["sqlite", "jsonl"])
+    def backend(self, request):
+        return request.param
+
+    def test_put_get_and_merge_dedup(self, tmp_path, backend):
+        store = ArtifactStore(tmp_path, backend=backend)
         rec = {"kind": "precedes", "r1": "a", "r2": "b",
                "variant": "standard", "budget": 1, "edge": True, "exact": True}
         assert store.put("k", [rec]) == 1
         assert store.put("k", [rec]) == 0  # same probe: nothing appended
         store.close()
-        reloaded = ArtifactStore(tmp_path)
+        reloaded = ArtifactStore(tmp_path, backend=backend)
         assert reloaded.get("k") == [rec]
         assert reloaded.get("other") == []
 
-    def test_schema_bump_invalidates(self, tmp_path):
-        store = ArtifactStore(tmp_path)
+    def test_schema_bump_invalidates(self, tmp_path, backend):
+        store = ArtifactStore(tmp_path, backend=backend)
         store.put("k", [{"kind": "precedes", "r1": "a", "r2": "b",
                          "variant": "standard", "budget": 1,
                          "edge": True, "exact": True}])
         store.close()
-        import json
+        if backend == "jsonl":
+            import json
 
-        lines = []
-        for line in store.path.read_text().splitlines():
-            entry = json.loads(line)
-            entry["schema"] = ARTIFACT_SCHEMA + 1
-            lines.append(json.dumps(entry))
-        store.path.write_text("\n".join(lines) + "\n")
-        assert ArtifactStore(tmp_path).get("k") == []
+            lines = []
+            for line in store.path.read_text().splitlines():
+                entry = json.loads(line)
+                entry["schema"] = ARTIFACT_SCHEMA + 1
+                lines.append(json.dumps(entry))
+            store.path.write_text("\n".join(lines) + "\n")
+        else:
+            import sqlite3
+
+            with sqlite3.connect(store.path) as conn:
+                conn.execute(
+                    "UPDATE artifacts SET schema = ?", (ARTIFACT_SCHEMA + 1,)
+                )
+        assert ArtifactStore(tmp_path, backend=backend).get("k") == []
 
     def test_corrupted_tail_is_skipped(self, tmp_path):
-        store = ArtifactStore(tmp_path)
+        # JSONL-specific damage tolerance (sqlite equivalents live in
+        # tests/test_store_crash.py).
+        store = ArtifactStore(tmp_path, backend="jsonl")
         rec = {"kind": "precedes", "r1": "a", "r2": "b",
                "variant": "standard", "budget": 1, "edge": True, "exact": True}
         store.put("k", [rec])
         store.close()
         with store.path.open("a") as fh:
             fh.write('{"schema": 1, "key": "k2", "oracle": [tru')  # crash mid-line
-        reloaded = ArtifactStore(tmp_path)
+        reloaded = ArtifactStore(tmp_path, backend="jsonl")
         assert reloaded.get("k") == [rec]
         assert reloaded.get("k2") == []
 

@@ -25,53 +25,77 @@ def small_corpus():
     return generate_corpus(scale=0.03, tests_scale=0.05, max_size=15)
 
 
+@pytest.fixture(params=["sqlite", "jsonl"])
+def backend(request):
+    """Cache semantics must hold on both store backends."""
+    return request.param
+
+
 def config(tmp_path, **kwargs) -> BatchConfig:
     kwargs.setdefault("cache_dir", tmp_path / "cache")
     kwargs.setdefault("chase_steps", 300)
     return BatchConfig(**kwargs)
 
 
+def age_schema(cache: ResultCache) -> None:
+    """Rewrite every stored entry as if an older engine wrote it."""
+    if cache.backend == "jsonl":
+        path = cache.path
+        aged = []
+        for line in path.read_text().splitlines():
+            entry = json.loads(line)
+            entry["schema"] = SCHEMA_VERSION - 1
+            aged.append(jsonl_dumps(entry))
+        path.write_text("\n".join(aged) + "\n")
+    else:
+        import sqlite3
+
+        with sqlite3.connect(cache.path) as conn:
+            conn.execute("UPDATE results SET schema = ?", (SCHEMA_VERSION - 1,))
+
+
 class TestCacheBasics:
-    def test_hit_and_miss(self, tmp_path):
-        cache = ResultCache(tmp_path)
+    def test_hit_and_miss(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
         assert cache.get("k1", "p1") is None
         cache.put("k1", "p1", {"answer": 42})
         assert cache.get("k1", "p1") == {"answer": 42}
         assert cache.stats.hits == 1 and cache.stats.misses == 1
         cache.close()
         # A fresh process sees the same entry.
-        reread = ResultCache(tmp_path)
+        reread = ResultCache(tmp_path, backend=backend)
+        assert reread.stats.loaded == 1
         assert reread.get("k1", "p1") == {"answer": 42}
 
-    def test_params_mismatch_is_a_miss(self, tmp_path):
-        cache = ResultCache(tmp_path)
+    def test_params_mismatch_is_a_miss(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
         cache.put("k1", "p1", {"answer": 42})
         assert cache.get("k1", "other-params") is None
         assert cache.stats.params_misses == 1
 
-    def test_last_write_wins(self, tmp_path):
-        cache = ResultCache(tmp_path)
+    def test_last_write_wins(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
         cache.put("k1", "p1", {"answer": 1})
         cache.put("k1", "p1", {"answer": 2})
         cache.close()
-        assert ResultCache(tmp_path).get("k1", "p1") == {"answer": 2}
+        reread = ResultCache(tmp_path, backend=backend)
+        assert reread.get("k1", "p1") == {"answer": 2}
+        assert len(reread) == 1
 
-    def test_schema_bump_invalidates(self, tmp_path):
-        cache = ResultCache(tmp_path)
+    def test_schema_bump_invalidates(self, tmp_path, backend):
+        cache = ResultCache(tmp_path, backend=backend)
         cache.put("k1", "p1", {"answer": 42})
         cache.close()
-        # Rewrite the entry as if written by an older engine version.
-        path = tmp_path / "results.jsonl"
-        entry = json.loads(path.read_text())
-        entry["schema"] = SCHEMA_VERSION - 1
-        path.write_text(jsonl_dumps(entry) + "\n")
-        stale = ResultCache(tmp_path)
+        age_schema(cache)
+        stale = ResultCache(tmp_path, backend=backend)
         assert stale.get("k1", "p1") is None
         assert stale.stats.stale_schema == 1
         assert len(stale) == 0
 
     def test_corrupted_line_recovery(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        # JSONL-specific: line-level damage tolerance of the reference
+        # backend (the sqlite equivalents live in tests/test_store_crash.py).
+        cache = ResultCache(tmp_path, backend="jsonl")
         cache.put("k1", "p1", {"answer": 1})
         cache.close()
         path = tmp_path / "results.jsonl"
@@ -90,18 +114,18 @@ class TestCacheBasics:
             )
             + "\n"
         )
-        recovered = ResultCache(tmp_path)
+        recovered = ResultCache(tmp_path, backend="jsonl")
         assert recovered.stats.corrupted == 3
         assert recovered.get("k1", "p1") == {"answer": 1}
         assert recovered.get("k2", "p1") == {"answer": 2}
 
     def test_blank_lines_are_not_corruption(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        cache = ResultCache(tmp_path, backend="jsonl")
         cache.put("k1", "p1", {"answer": 1})
         cache.close()
         path = tmp_path / "results.jsonl"
         path.write_text("\n" + path.read_text() + "\n\n")
-        assert ResultCache(tmp_path).stats.corrupted == 0
+        assert ResultCache(tmp_path, backend="jsonl").stats.corrupted == 0
 
 
 class TestEngineCaching:

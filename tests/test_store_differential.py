@@ -1,0 +1,180 @@
+"""The backend-equivalence contract: sqlite ≡ jsonl, record for record.
+
+The JSONL log is the reference semantics ("the log is the truth, later
+writes win"); the sqlite backend is an indexed representation of exactly
+the same store.  These tests run the real batch engine against both
+backends over one corpus and pin:
+
+* cold runs produce verdict-identical ``BatchReport``s (timing aside —
+  two cold runs measure different wall clocks);
+* warm runs are byte-identical to their own cold runs *and* to each
+  other's payloads;
+* the persisted artifact layer (firing decisions are deterministic) is
+  byte-identical across backends via the JSONL export;
+* a legacy JSONL directory opened under the sqlite backend migrates
+  itself and serves a fully warm rerun;
+* export → import round-trips between backends without loss, and the
+  export is a fixpoint (export ∘ import ∘ export is the identity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.batch import ArtifactStore, BatchConfig, ResultCache, evaluate_corpus
+from repro.generators import generate_corpus
+from repro.store import export_jsonl, import_jsonl
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(scale=0.03, tests_scale=0.05, max_size=15)
+
+
+def run(corpus, tmp_path, store, **kwargs):
+    kwargs.setdefault("chase_steps", 300)
+    return evaluate_corpus(
+        corpus, BatchConfig(cache_dir=tmp_path, store=store, **kwargs)
+    )
+
+
+def _strip_timings(value):
+    """Drop measured wall-clocks (``*_ms``) at every nesting level."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_timings(v)
+            for k, v in value.items()
+            if not k.endswith("_ms")
+        }
+    if isinstance(value, list):
+        return [_strip_timings(v) for v in value]
+    return value
+
+
+def payloads(report):
+    """The timing-free projection two independent runs must agree on."""
+    return [
+        (r.name, r.key, _strip_timings(r.record["data"]), r.exhausted)
+        for r in report.results
+    ]
+
+
+class TestReportEquivalence:
+    def test_cold_reports_agree_in_evaluate_mode(self, corpus, tmp_path):
+        sq = run(corpus, tmp_path / "sq", "sqlite")
+        js = run(corpus, tmp_path / "js", "jsonl")
+        assert payloads(sq) == payloads(js)
+        assert [
+            _strip_timings(dataclasses.asdict(e)) for e in sq.evaluations()
+        ] == [_strip_timings(dataclasses.asdict(e)) for e in js.evaluations()]
+
+    def test_warm_reports_are_identical_across_backends(self, corpus, tmp_path):
+        cold_sq = run(corpus, tmp_path / "sq", "sqlite")
+        cold_js = run(corpus, tmp_path / "js", "jsonl")
+        warm_sq = run(corpus, tmp_path / "sq", "sqlite")
+        warm_js = run(corpus, tmp_path / "js", "jsonl")
+        assert warm_sq.computed == 0 and warm_js.computed == 0
+        assert warm_sq.hits == warm_js.hits
+        assert warm_sq.deduplicated == warm_js.deduplicated
+        # Each warm run serves its cold run's records verbatim …
+        assert [r.record for r in warm_sq.results] == [
+            r.record for r in cold_sq.results
+        ]
+        assert [r.record for r in warm_js.results] == [
+            r.record for r in cold_js.results
+        ]
+        # … so across backends only the measured timings may differ.
+        assert payloads(warm_sq) == payloads(warm_js)
+
+    def test_classify_mode_artifacts_are_byte_identical(self, corpus, tmp_path):
+        # Chase-probe-backed criteria, so firing decisions are recorded.
+        cfg = dict(mode="classify", criteria=["SR", "IR"])
+        run(corpus[:6], tmp_path / "sq", "sqlite", **cfg)
+        run(corpus[:6], tmp_path / "js", "jsonl", **cfg)
+        # Firing decisions are deterministic, so the artifact layer must
+        # agree record for record — the export renders both backends to
+        # the same normal form.
+        _, sq_artifacts, _ = export_jsonl(
+            ResultCache(tmp_path / "sq"),
+            ArtifactStore(tmp_path / "sq"),
+        )
+        _, js_artifacts, _ = export_jsonl(
+            ResultCache(tmp_path / "js", backend="jsonl"),
+            ArtifactStore(tmp_path / "js", backend="jsonl"),
+        )
+        assert sq_artifacts == js_artifacts
+        assert sq_artifacts  # non-vacuous: decisions were recorded
+
+
+class TestMigration:
+    def test_legacy_jsonl_directory_self_migrates(self, corpus, tmp_path):
+        cold = run(corpus, tmp_path, "jsonl")
+        assert cold.computed > 0
+        # Same directory, sqlite backend: first open imports the log.
+        cache = ResultCache(tmp_path, backend="sqlite")
+        assert cache.stats.imported == len(cache)
+        assert cache.stats.imported > 0
+        cache.close()
+        warm = run(corpus, tmp_path, "sqlite")
+        assert warm.computed == 0
+        assert payloads(warm) == payloads(cold)
+
+    def test_migration_does_not_rerun_on_reopen(self, corpus, tmp_path):
+        run(corpus[:4], tmp_path, "jsonl")
+        first = ResultCache(tmp_path, backend="sqlite")
+        imported = first.stats.imported
+        assert imported > 0
+        first.close()
+        again = ResultCache(tmp_path, backend="sqlite")
+        assert again.stats.imported == 0
+        assert again.stats.loaded == imported
+
+
+class TestPortRoundTrip:
+    def test_export_import_preserves_every_record(self, corpus, tmp_path):
+        cfg = dict(mode="classify", criteria=["SR", "IR"])
+        run(corpus[:6], tmp_path / "src", "sqlite", **cfg)
+        src_cache = ResultCache(tmp_path / "src")
+        src_store = ArtifactStore(tmp_path / "src")
+        results_text, artifacts_text, exported = export_jsonl(
+            src_cache, src_store
+        )
+        dst_cache = ResultCache(tmp_path / "dst", backend="jsonl")
+        dst_store = ArtifactStore(tmp_path / "dst", backend="jsonl")
+        imported = import_jsonl(
+            dst_cache, results_text, dst_store, artifacts_text
+        )
+        assert exported.artifacts > 0  # non-vacuous on the artifact side
+        assert imported.results == exported.results
+        assert imported.artifacts == exported.artifacts
+        assert imported.skipped == 0
+        # The imported store warms a rerun exactly like the original.
+        warm = run(corpus[:6], tmp_path / "dst", "jsonl", **cfg)
+        assert warm.computed == 0
+
+    def test_export_is_a_fixpoint(self, corpus, tmp_path):
+        run(corpus[:5], tmp_path / "src", "sqlite",
+            mode="classify", criteria=["SR", "IR"])
+        results_text, artifacts_text, _ = export_jsonl(
+            ResultCache(tmp_path / "src"), ArtifactStore(tmp_path / "src")
+        )
+        dst_cache = ResultCache(tmp_path / "dst", backend="jsonl")
+        dst_store = ArtifactStore(tmp_path / "dst", backend="jsonl")
+        import_jsonl(dst_cache, results_text, dst_store, artifacts_text)
+        again_results, again_artifacts, _ = export_jsonl(dst_cache, dst_store)
+        assert again_results == results_text
+        assert again_artifacts == artifacts_text
+
+    def test_import_skips_stale_and_torn_lines(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        text = (
+            '{"schema": 999, "key": "old", "params": "p", "record": {}}\n'
+            '{"schema": 1, "key": "good", "params": "p", "record": {"x": 1}}\n'
+            '{"schema": 1, "key": "torn'
+        )
+        report = import_jsonl(cache, text)
+        assert report.results == 1
+        assert report.skipped == 2
+        assert cache.get("good", "p") == {"x": 1}
