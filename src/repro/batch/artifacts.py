@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..firing.relations import DecisionCache
 from ..firing.witness import FiringDecision
@@ -181,7 +181,9 @@ def seed_decisions(
 _record_identity = record_identity
 
 
-def _artifact_backend(directory: pathlib.Path, backend: str, durable: bool):
+def _artifact_backend(
+    directory: pathlib.Path, backend: str, durable: bool
+) -> SqliteArtifactBackend | JsonlArtifactBackend:
     if backend == "sqlite":
         return SqliteArtifactBackend(
             directory, ARTIFACT_SCHEMA, durable=durable
@@ -237,7 +239,7 @@ class ArtifactStore:
         """Store the records not already present; returns how many were new."""
         return self._backend.put(key, records)
 
-    def entries(self):
+    def entries(self) -> Iterator[tuple[str, list[dict]]]:
         """Every program's merged records as ``(key, records)`` — the
         export interface (:mod:`repro.store.port`)."""
         return self._backend.entries()

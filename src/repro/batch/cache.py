@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import pathlib
 from dataclasses import dataclass
+from typing import Any
 
 from ..store import (
     BACKENDS,
@@ -70,7 +71,7 @@ class CacheStats:
 
 def _result_backend(
     directory: pathlib.Path, backend: str, durable: bool
-):
+) -> SqliteResultBackend | JsonlResultBackend:
     if backend == "sqlite":
         return SqliteResultBackend(directory, SCHEMA_VERSION, durable=durable)
     if backend == "jsonl":
@@ -147,13 +148,13 @@ class ResultCache:
 
     # -- the query surface ---------------------------------------------------
 
-    def query(self, q: ResultQuery | None = None, **kwargs) -> QueryPage:
+    def query(self, q: ResultQuery | None = None, **kwargs: Any) -> QueryPage:
         """Filter/sort/paginate stored verdicts (see repro.store.query)."""
         if q is None:
             q = ResultQuery(**kwargs)
         return self._backend.query(q)
 
-    def entries(self):
+    def entries(self) -> list[tuple[int, dict]]:
         """Every live entry as ``(seq, envelope)`` in write order — the
         export interface (:mod:`repro.store.port`)."""
         return self._backend.entries()

@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..analysis.classify import ClassifyConfig, classify
 from ..analysis.evaluation import OntologyEvaluation, chase_ground_truth
@@ -51,6 +52,9 @@ from ..io import dependencies_from_json, dependencies_to_json, jsonl_dumps
 from ..model.dependencies import DependencySet
 from .cache import SCHEMA_VERSION, CacheStats, ResultCache
 from .fingerprint import canonical_fingerprint, stable_hash
+
+if TYPE_CHECKING:  # runtime import stays lazy (artifacts pulls in the store)
+    from .artifacts import ArtifactStore
 
 MODES = ("evaluate", "classify")
 
@@ -471,7 +475,10 @@ def _program_result(
 
 
 def _payload(
-    key: str, ont: GeneratedOntology, config: BatchConfig, store=None
+    key: str,
+    ont: GeneratedOntology,
+    config: BatchConfig,
+    store: ArtifactStore | None = None,
 ) -> dict:
     return {
         "key": key,
@@ -494,7 +501,7 @@ def _run_pending(
     config: BatchConfig,
     params: str,
     cache: ResultCache | None,
-    store,
+    store: ArtifactStore | None,
     cancellation: Cancellation | None,
     slots: dict[str, ProgramResult],
     report: BatchReport,

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Iterable
+from typing import Callable, Iterable, Mapping, TypeVar
 
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
@@ -151,7 +151,13 @@ def _initial_colours(sigma: Iterable[AnyDependency]) -> dict[str, str]:
     return {p: stable_hash(["init", s]) for p, s in stats.items()}
 
 
-def colour_refine(initial, contexts):
+_K = TypeVar("_K")
+
+
+def colour_refine(
+    initial: Mapping[_K, str],
+    contexts: Callable[[dict[_K, str]], Mapping[_K, object]],
+) -> dict[_K, str]:
     """Generic 1-WL colour refinement, run until the partition stabilises.
 
     ``initial`` maps each item to a seed colour string; ``contexts`` is a

@@ -75,6 +75,7 @@ class ProvenanceIndex:
             raise KeyError(f"{fact} is not a fact of the chase result")
         return self._explain(fact, max_depth, seen=frozenset())
 
+    # repro-lint: disable=budget-loop -- depth counter strictly decreases and the seen set breaks cycles; read-only post-chase walk
     def _explain(self, fact: Atom, budget: int, seen: frozenset) -> Derivation:
         src, via, premises = self.origin[fact]
         node = Derivation(fact, src, via)

@@ -245,6 +245,7 @@ class ChaseRunner:
         re-swept: semi-naive discovery keeps it complete at all times (the
         invariant in the module docstring / DESIGN.md).
         """
+        # repro-lint: disable=budget-loop -- pool strictly shrinks: every iteration pops one trigger; the caller's step loop charges the budget
         while self._pending:
             i = self.strategy(self._pending)
             trigger = self._pending.pop(i)

@@ -35,6 +35,13 @@ Commands
 (``batch FILE...`` is shorthand for ``batch run FILE...`` — the bare
 form stays the way it always was.)
 
+``lint [PATH...]``
+    Run the project's AST invariant checker (:mod:`repro.devtools.lint`)
+    over ``src``/``tests``/``benchmarks`` (or the given paths).  Each
+    rule enforces a DESIGN.md section (see §8); exit 0 means no
+    unsuppressed, unbaselined finding.  ``--format json`` for CI,
+    ``--write-baseline`` to grandfather the current findings.
+
 Dependency files use the syntax of :mod:`repro.model.parser`; facts files
 contain atoms such as ``N("a") E("a","b")``.
 """
@@ -335,6 +342,56 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the DESIGN.md invariant checker (DESIGN.md §8).
+
+    Exit 0 — clean (baselined/suppressed findings allowed); 1 — at least
+    one unsuppressed, unbaselined finding; 2 — usage trouble (bad path,
+    malformed baseline).
+    """
+    from collections import Counter
+
+    from .devtools.lint import (
+        BASELINE_NAME,
+        DEFAULT_PATHS,
+        all_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        save_baseline,
+    )
+
+    root = pathlib.Path(args.root).resolve()
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:<28} {rule.section:<7} {rule.summary}")
+        return 0
+    baseline_path = pathlib.Path(
+        args.baseline if args.baseline else root / BASELINE_NAME
+    )
+    try:
+        baseline = Counter() if args.no_baseline else load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"bad baseline: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(
+            root, args.paths or DEFAULT_PATHS, baseline=baseline
+        )
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        save_baseline(baseline_path, report)
+        print(f"baseline written: {baseline_path} "
+              f"({len(report.baseline_material)} entries)")
+        return 0
+    output = render_json(report) if args.format == "json" else render_text(report)
+    sys.stdout.write(output)
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -475,6 +532,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keyset cursor from a previous page's stderr")
     p.add_argument("--format", default="table", choices=["table", "jsonl"])
     p.set_defaults(func=cmd_batch_query)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the codebase against the DESIGN.md invariants (§8)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to check "
+                        "(default: src tests benchmarks)")
+    p.add_argument("--root", default=".",
+                   help="repository root the paths and the report are "
+                        "relative to (default: the working directory)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (json carries machine-readable "
+                        "counts for CI)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="baseline of grandfathered findings "
+                        "(default: <root>/lint-baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline: report every finding")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="grandfather the current findings into the "
+                        "baseline file and exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and the DESIGN.md "
+                        "sections they enforce")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("chase", help="run one chase sequence")
     p.add_argument("file")

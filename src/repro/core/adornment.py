@@ -83,6 +83,7 @@ def decode_predicate(name: str) -> tuple[str, Adornment] | None:
     base, _, suffix = name.partition("^")
     adn: list[Symbol] = []
     pos = 0
+    # repro-lint: disable=budget-loop -- pos strictly advances to len(suffix); pure string decode, no chase work
     while pos < len(suffix):
         m = _ADN_RE.match(suffix, pos)
         if m is None:
@@ -840,6 +841,7 @@ class AdornmentAlgorithm:
         frontier: list[AnyDependency] = [s]
         visited: set[AnyDependency] = set()
         found = False
+        # repro-lint: disable=budget-loop -- BFS over the finite full-TGD set; visited guard enqueues each dependency at most once
         while frontier and not found:
             node = frontier.pop()
             if self._sigma_oracle.fires(node, r, fulls=fulls):
@@ -864,6 +866,7 @@ class AdornmentAlgorithm:
             adj.setdefault(u, []).append((v, label))
         reach: set[int] = set()
         stack = [start]
+        # repro-lint: disable=budget-loop -- reachability walk over the finite Ω(AD) graph; reach guard pushes each node once
         while stack:
             node = stack.pop()
             for v, _ in adj.get(node, []):
@@ -892,6 +895,7 @@ class AdornmentAlgorithm:
             return True
         seen = {src}
         stack = [src]
+        # repro-lint: disable=budget-loop -- reachability walk over the finite Ω(AD) graph; seen guard pushes each node once
         while stack:
             node = stack.pop()
             for v, _ in adj.get(node, []):

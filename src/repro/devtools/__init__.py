@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the library (DESIGN.md §8).
+
+Nothing in here is imported by the analysis code paths; the package
+exists so the invariants DESIGN.md states in prose are machine-checked
+(:mod:`repro.devtools.lint`, surfaced as ``repro lint``).
+"""

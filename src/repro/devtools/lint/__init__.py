@@ -1,0 +1,44 @@
+"""``repro.devtools.lint`` — the DESIGN.md invariant checker.
+
+Programmatic surface::
+
+    from repro.devtools.lint import run_lint, all_rules, load_baseline
+    report = run_lint(root, paths=["src", "tests", "benchmarks"],
+                      baseline=load_baseline(root / "lint-baseline.json"))
+    report.clean, report.findings, report.baselined
+
+CLI surface: ``repro lint`` (see ``repro lint --help``); DESIGN.md §8
+maps every rule to the design section it enforces.
+"""
+
+from .framework import (
+    BASELINE_NAME,
+    DEFAULT_PATHS,
+    Finding,
+    LintReport,
+    ModuleSource,
+    Rule,
+    all_rules,
+    load_baseline,
+    register,
+    render_json,
+    render_text,
+    run_lint,
+    save_baseline,
+)
+
+__all__ = [
+    "BASELINE_NAME",
+    "DEFAULT_PATHS",
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "save_baseline",
+]

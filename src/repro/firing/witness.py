@@ -135,6 +135,7 @@ def iter_partitions(items: Sequence, limit_vars: int = MAX_PARTITION_VARS) -> It
     if not items or len(items) > limit_vars:
         return
 
+    # repro-lint: disable=budget-loop -- idx strictly advances to len(items) <= limit_vars; bounded partition enumeration
     def rec(idx: int, blocks: list[list]) -> Iterator[list[list]]:
         if idx == len(items):
             yield [list(b) for b in blocks]

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import os
 import pathlib
+from typing import Iterator
 
 from ..io import iter_jsonl, jsonl_dumps
-from .query import ResultQuery, index_row, query_rows, record_identity
+from .query import QueryPage, ResultQuery, index_row, query_rows, record_identity
 
 RESULTS_NAME = "results.jsonl"
 ARTIFACTS_NAME = "artifacts.jsonl"
@@ -110,7 +111,7 @@ class JsonlResultBackend:
         self._seq[key] = self._next_seq
         self._next_seq += 1
 
-    def entries(self):
+    def entries(self) -> list[tuple[int, dict]]:
         """Every live entry as ``(seq, entry)``, in write order."""
         return sorted(
             ((self._seq[k], e) for k, e in self._entries.items()),
@@ -120,7 +121,7 @@ class JsonlResultBackend:
     def rows(self) -> list[dict]:
         return [index_row(seq, entry) for seq, entry in self.entries()]
 
-    def query(self, q: ResultQuery):
+    def query(self, q: ResultQuery) -> QueryPage:
         return query_rows(self.rows(), q)
 
     def close(self) -> None:
@@ -185,7 +186,7 @@ class JsonlArtifactBackend:
             )
         return len(fresh)
 
-    def entries(self):
+    def entries(self) -> Iterator[tuple[str, list[dict]]]:
         """Every program's merged records as ``(key, records)``, sorted
         by probe identity — byte-identical to the sqlite backend's
         iteration, so exports of equivalent stores are equal."""

@@ -22,6 +22,7 @@ between *any* two backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..io import iter_jsonl, jsonl_dumps
 
@@ -47,7 +48,7 @@ class PortReport:
         return ", ".join(bits)
 
 
-def export_jsonl(cache, store=None) -> tuple[str, str, PortReport]:
+def export_jsonl(cache: Any, store: Any = None) -> tuple[str, str, PortReport]:
     """Render a store as ``(results_text, artifacts_text, report)``.
 
     ``cache`` is a result facade/backend exposing ``entries()`` and
@@ -79,9 +80,9 @@ def export_jsonl(cache, store=None) -> tuple[str, str, PortReport]:
 
 
 def import_jsonl(
-    cache,
+    cache: Any,
     results_text: str = "",
-    store=None,
+    store: Any = None,
     artifacts_text: str = "",
 ) -> PortReport:
     """Replay JSONL snapshots into a store through its ``put`` path."""

@@ -41,6 +41,7 @@ import json
 import os
 import pathlib
 import sqlite3
+from typing import Iterator
 
 from ..io import iter_jsonl
 from .query import (
@@ -277,7 +278,7 @@ class SqliteResultBackend:
     def put(self, entry: dict) -> None:
         self._insert(self._handle.conn(), entry)
 
-    def entries(self):
+    def entries(self) -> list[tuple[int, dict]]:
         """Every live entry as ``(seq, entry)``, in write order."""
         return [
             (seq, json.loads(text))
@@ -450,7 +451,7 @@ class SqliteArtifactBackend:
             raise
         return fresh
 
-    def entries(self):
+    def entries(self) -> Iterator[tuple[str, list[dict]]]:
         """Every program's merged records as ``(key, records)``."""
         current: str | None = None
         bucket: list[dict] = []

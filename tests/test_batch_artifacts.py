@@ -195,6 +195,7 @@ class TestArtifactStore:
         else:
             import sqlite3
 
+            # repro-lint: disable=fork-safety -- test fixture rewrites schema versions directly; store handle is closed
             with sqlite3.connect(store.path) as conn:
                 conn.execute(
                     "UPDATE artifacts SET schema = ?", (ARTIFACT_SCHEMA + 1,)

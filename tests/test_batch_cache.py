@@ -50,6 +50,7 @@ def age_schema(cache: ResultCache) -> None:
     else:
         import sqlite3
 
+        # repro-lint: disable=fork-safety -- test fixture rewrites schema versions directly; cache handle is closed
         with sqlite3.connect(cache.path) as conn:
             conn.execute("UPDATE results SET schema = ?", (SCHEMA_VERSION - 1,))
 

@@ -271,6 +271,7 @@ def _stored_results(cache_dir: pathlib.Path, backend: str) -> int:
         if not db.exists():
             return 0
         try:
+            # repro-lint: disable=fork-safety -- crash-harness observer counts rows from the parent; never crosses a fork
             with sqlite3.connect(db, timeout=1.0) as conn:
                 (n,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
                 return n
