@@ -69,11 +69,18 @@ def stable_hash(obj: object) -> str:
 # -- per-dependency encoding ---------------------------------------------------
 
 
-def _term_code(term: object, var_ids: dict[Variable, int]) -> list:
+def _term_code(term: object, var_ids: dict[int, int]) -> list:
     if isinstance(term, Variable):
-        if term not in var_ids:
-            var_ids[term] = len(var_ids)
-        return ["v", var_ids[term]]
+        # ``var_ids`` is keyed by the interned term id (an int, cheap to
+        # hash) rather than the Variable object; the *values* are still
+        # first-occurrence ordinals, so the emitted code — and hence the
+        # persisted fingerprint — is identical to the object-keyed
+        # construction and independent of tid allocation order.
+        tid = term.tid
+        num = var_ids.get(tid)
+        if num is None:
+            num = var_ids[tid] = len(var_ids)
+        return ["v", num]
     if isinstance(term, Constant):
         # Constants are *not* renameable: two programs differing only in
         # a constant are different programs (criteria may treat repeated
@@ -82,7 +89,7 @@ def _term_code(term: object, var_ids: dict[Variable, int]) -> list:
     raise TypeError(f"unexpected term in a dependency: {term!r}")
 
 
-def _atom_code(atom: Atom, colours: dict[str, str], var_ids: dict[Variable, int]) -> list:
+def _atom_code(atom: Atom, colours: dict[str, str], var_ids: dict[int, int]) -> list:
     return [colours[atom.predicate], [_term_code(t, var_ids) for t in atom.args]]
 
 
@@ -94,14 +101,14 @@ def _dependency_code(dep: AnyDependency, colours: dict[str, str]) -> list:
     identity (``TGD.__eq__`` compares tuples) and is untouched by the
     renaming/reordering transformations the fingerprint must absorb.
     """
-    var_ids: dict[Variable, int] = {}
+    var_ids: dict[int, int] = {}
     body = [_atom_code(a, colours, var_ids) for a in dep.body]
     if isinstance(dep, TGD):
         head = [_atom_code(a, colours, var_ids) for a in dep.head]
-        ex = [var_ids[v] for v in dep.existential]
+        ex = [var_ids[v.tid] for v in dep.existential]
         return ["tgd", body, head, ex]
     assert isinstance(dep, EGD)
-    return ["egd", body, var_ids[dep.lhs], var_ids[dep.rhs]]
+    return ["egd", body, var_ids[dep.lhs.tid], var_ids[dep.rhs.tid]]
 
 
 # -- alpha-deduplication ---------------------------------------------------------

@@ -159,7 +159,11 @@ class Budget:
         if self.max_steps is not None and self.steps > self.max_steps:
             self._exhausted = BudgetExhausted("steps", self.steps, self.max_steps)
             return False
-        self._until_clock_check -= 1
+        # The clock-check countdown consumes n, not 1: a bulk charge
+        # covers n units of work, so bulk-charging loops must hit the
+        # stride-gated wall-clock/cancellation checks as often per unit
+        # of work as unit-charging ones.
+        self._until_clock_check -= n
         if self._until_clock_check <= 0:
             self._until_clock_check = _CLOCK_STRIDE
             if not self._check_slow():
@@ -177,7 +181,8 @@ class Budget:
         if self.max_facts is not None and self.facts > self.max_facts:
             self._exhausted = BudgetExhausted("facts", self.facts, self.max_facts)
             return False
-        self._until_clock_check -= 1
+        # See charge(): the countdown consumes n, not 1.
+        self._until_clock_check -= n
         if self._until_clock_check <= 0:
             self._until_clock_check = _CLOCK_STRIDE
             if not self._check_slow():

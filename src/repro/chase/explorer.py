@@ -42,7 +42,7 @@ from math import factorial
 from ..budget import Budget
 from ..homomorphism.finder import find_homomorphisms
 from ..homomorphism.satisfaction import satisfies_tgd
-from ..matching import body_atom_index, delta_homomorphisms
+from ..matching import body_atom_index, delta_homomorphisms, warm_plans
 from ..matching.engine import match_atom
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, DependencySet
@@ -289,6 +289,9 @@ def explore_chase(
     transactional = snapshots == "savepoint"
     semi_naive = discovery == "delta"
     body_index = body_atom_index((d, d.body) for d in sigma) if semi_naive else None
+    # Compile the per-dependency join plans once for the whole exploration
+    # (a no-op unless the "planned" backend is active in this context).
+    warm_plans((d.body for d in sigma), database)
     head_preds = {
         d: frozenset(a.predicate for a in d.head)
         for d in sigma

@@ -45,7 +45,12 @@ from typing import Iterable
 from ..budget import Budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import violations
-from ..matching import body_atom_index, delta_homomorphisms, using_backend
+from ..matching import (
+    body_atom_index,
+    delta_homomorphisms,
+    using_backend,
+    warm_plans,
+)
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
 from ..model.instances import Instance
@@ -204,6 +209,9 @@ class ChaseRunner:
             return self._run()
 
     def _run(self) -> ChaseResult:
+        # Compile the per-dependency join plans up front (a no-op unless
+        # the "planned" backend is active in this context).
+        warm_plans((d.body for d in self.sigma), self.instance)
         self._discover_initial()
         self._tick = self.instance.tick
         facts_seen = len(self.instance)

@@ -19,11 +19,11 @@ from typing import Iterable
 
 from ..budget import Budget, BudgetExhausted
 from ..homomorphism.finder import find_homomorphisms
-from ..matching import body_atom_index, delta_homomorphisms
+from ..matching import body_atom_index, delta_homomorphisms, warm_plans
 from ..model.atoms import Atom
 from ..model.dependencies import TGD, DependencySet
 from ..model.instances import Instance
-from ..model.terms import Term, Variable
+from ..model.terms import Term, Variable, next_term_id
 
 
 class SkolemTerm(Term):
@@ -33,7 +33,7 @@ class SkolemTerm(Term):
     are ground terms or nested Skolem terms.
     """
 
-    __slots__ = ("functor", "args", "_hash")
+    __slots__ = ("functor", "args", "tid", "_hash")
 
     _intern: dict[tuple, "SkolemTerm"] = {}
 
@@ -44,6 +44,7 @@ class SkolemTerm(Term):
             cached = super().__new__(cls)
             object.__setattr__(cached, "functor", functor)
             object.__setattr__(cached, "args", args)
+            object.__setattr__(cached, "tid", next_term_id())
             object.__setattr__(cached, "_hash", hash(("skolem", key)))
             cls._intern[key] = cached
         return cached
@@ -172,6 +173,9 @@ def saturate(
     instance = database.copy()
     rules = list(rules)
     body_index = body_atom_index((rule, rule.source.body) for rule in rules)
+    # Compile the per-rule join plans once for the whole saturation (a
+    # no-op unless the "planned" backend is active in this context).
+    warm_plans((rule.source.body for rule in rules), instance)
     rounds = 0
     tick = instance.tick
     budget.charge_facts(len(instance))

@@ -330,10 +330,14 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
         print(head)
         print("-" * len(head))
         for row in page.rows:
+            # elapsed_ms is nullable: a record that never measured
+            # wall-clock renders blank, not a fake 0.0.
+            ms = row["elapsed_ms"]
             print(
                 f"{row['key'][:16]:<16} {row['name']:<24} "
                 f"{row['verdict']:<44} "
-                f"{row['exhausted'] or '':>6} {row['elapsed_ms']:>8.1f}"
+                f"{row['exhausted'] or '':>6} "
+                f"{'' if ms is None else f'{ms:.1f}':>8}"
             )
         print("-" * len(head))
         print(f"{len(page.rows)} rows")

@@ -72,15 +72,27 @@ def _is_call_to(node: ast.AST, owner: str, attr: str) -> bool:
 #: ``budget.charge()`` / ``charge_facts()``, the ``ok`` property, a
 #: cancellation token's ``cancelled`` — plus any ``charge*``-named
 #: helper (e.g. the adornment driver's stride-batched ``_charge_batched``).
+#: Hot loops that hoist the bound method out of the loop body for speed
+#: (``charge = budget.charge`` before a plan-replay loop) poll through a
+#: *bare name* instead of an attribute; those count too.
 _BUDGET_POLLS = {"ok", "cancelled"}
 
 
+def _poll_name(name: str) -> bool:
+    return name in _BUDGET_POLLS or name.lstrip("_").startswith("charge")
+
+
 def _polls_budget(body: list[ast.stmt]) -> bool:
-    return any(
-        isinstance(n, ast.Attribute)
-        and (n.attr in _BUDGET_POLLS or n.attr.lstrip("_").startswith("charge"))
-        for n in _walk_same_scope(body)
-    )
+    for n in _walk_same_scope(body):
+        if isinstance(n, ast.Attribute) and _poll_name(n.attr):
+            return True
+        if (
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and _poll_name(n.func.id)
+        ):
+            return True
+    return False
 
 
 def _calls_itself(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -253,6 +265,7 @@ class InstanceEncapsulationRule(Rule):
         "*repro/model/instances.py",
         "*repro/matching/engine.py",
         "*repro/matching/naive.py",
+        "*repro/matching/plans.py",
     )
 
     def check(self, mod: ModuleSource) -> Iterator[Finding]:

@@ -64,6 +64,7 @@ from typing import Iterable, Iterator, Sequence
 from ..budget import Budget, coerce_budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import satisfies_instantiated
+from ..matching import warm_plans
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, AnyDependency
 from ..model.instances import Instance
@@ -184,6 +185,15 @@ class WitnessEngine:
         self.step_variant = step_variant
         self.budget = coerce_budget(budget, default_steps=DEFAULT_BUDGET)
         self.snapshots = snapshots
+        # Compile the join plans for the bodies this engine probes over
+        # and over (candidate instances are built per partition, but the
+        # renamed-apart bodies are fixed for the engine's lifetime).  The
+        # empty compile target means ordering falls back to probe count;
+        # witness instances are small enough that order barely matters.
+        # A no-op unless the "planned" backend is active in this context.
+        warm_plans(
+            [self.r1.body, self.r2.body, *(d.body for d in self.fulls)], ()
+        )
 
     @contextmanager
     def _scratch(self, inst: Instance):

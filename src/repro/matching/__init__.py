@@ -9,7 +9,10 @@ The shared matching engine behind every chase consumer — see DESIGN.md,
   discovery over an instance's delta log;
 * :func:`seed_mapping` — anchor a body atom onto a fact;
 * :func:`get_backend` / :func:`set_backend` / :func:`using_backend` —
-  switch between the ``indexed`` engine and the ``naive`` reference.
+  switch between the ``planned`` compiled plans (default), the
+  ``indexed`` engine, and the ``naive`` reference;
+* :func:`warm_plans` — precompile the ``planned`` backend's join plans
+  for a dependency set's bodies at chase start.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from ..model.instances import Instance
 from ..model.terms import Term
 from . import engine as _engine
 from . import naive as _naive
+from . import plans as _plans
 from .config import BACKENDS, get_backend, set_backend, using_backend
 from .engine import (
     Homomorphism,
@@ -29,6 +33,7 @@ from .engine import (
     match_atom,
     seed_mapping,
 )
+from .plans import warm as _warm
 
 
 def homomorphisms(
@@ -39,9 +44,24 @@ def homomorphisms(
     limit: int | None = None,
 ) -> Iterator[Homomorphism]:
     """Enumerate homomorphisms using the active matching backend."""
-    if get_backend() == "naive":
+    backend = get_backend()
+    if backend == "planned":
+        return _plans.match(source, target, seed, frozen_nulls, limit)
+    if backend == "naive":
         return _naive.match(source, target, seed, frozen_nulls, limit)
     return _engine.match(source, target, seed, frozen_nulls, limit)
+
+
+def warm_plans(
+    bodies: Iterable[Sequence[Atom]],
+    target: Instance | Iterable[Atom],
+    frozen_nulls: bool = False,
+) -> int:
+    """Precompile join plans for ``bodies`` if the ``planned`` backend is
+    active; a no-op (returning 0) under the other backends."""
+    if get_backend() != "planned":
+        return 0
+    return _warm(bodies, target, frozen_nulls)
 
 
 __all__ = [
@@ -55,4 +75,5 @@ __all__ = [
     "seed_mapping",
     "set_backend",
     "using_backend",
+    "warm_plans",
 ]

@@ -1,16 +1,19 @@
 """Matching backend selection.
 
-Two interchangeable homomorphism-search backends exist:
+Three interchangeable homomorphism-search backends exist:
 
-* ``"indexed"`` (default) — dynamic most-constrained-first search over the
-  instance's ``(predicate, position, term)`` index (:mod:`.engine`);
+* ``"planned"`` (default) — compiled fixed-order join plans replayed from
+  a cache, probing term-id-keyed buckets (:mod:`.plans`);
+* ``"indexed"`` — dynamic most-constrained-first search over the
+  instance's ``(predicate, position, term)`` index, re-interpreted per
+  call (:mod:`.engine`);
 * ``"naive"``   — the retained reference: static atom order, full predicate
-  extent scans (:mod:`.naive`).
+  extent scans, no interning anywhere on its path (:mod:`.naive`).
 
-Both enumerate exactly the same *set* of homomorphisms (possibly in a
-different order); the differential test suite holds them against each
-other.  The backend is a :mod:`contextvars` variable so nested chase runs
-(e.g. the explorer forking runners) compose correctly.
+All backends enumerate exactly the same *set* of homomorphisms (possibly
+in a different order); the differential test suite holds them against
+each other pairwise.  The backend is a :mod:`contextvars` variable so
+nested chase runs (e.g. the explorer forking runners) compose correctly.
 """
 
 from __future__ import annotations
@@ -19,9 +22,9 @@ import contextlib
 from contextvars import ContextVar
 from typing import Iterator
 
-BACKENDS = ("indexed", "naive")
+BACKENDS = ("planned", "indexed", "naive")
 
-_backend: ContextVar[str] = ContextVar("repro_matching_backend", default="indexed")
+_backend: ContextVar[str] = ContextVar("repro_matching_backend", default="planned")
 
 
 def get_backend() -> str:
@@ -33,7 +36,7 @@ def set_backend(name: str) -> None:
     """Set the matching backend for the *current context*.
 
     The setting lives in a :mod:`contextvars` variable: new threads (and
-    contexts copied before the call) start from the ``"indexed"`` default
+    contexts copied before the call) start from the ``"planned"`` default
     and do not observe it.  Use :func:`using_backend` for scoped switches.
     """
     if name not in BACKENDS:

@@ -58,14 +58,15 @@ class AdHocIndex:
 
     def __init__(self, atoms: Iterable[Atom]) -> None:
         self._by_predicate: dict[str, set[Atom]] = {}
-        self._by_pos: dict[str, list[dict[Term, set[Atom]]]] = {}
+        # Cells keyed by term id, mirroring Instance._by_pos.
+        self._by_pos: dict[str, list[dict[int, set[Atom]]]] = {}
         for a in atoms:
             self._by_predicate.setdefault(a.predicate, set()).add(a)
             slots = self._by_pos.setdefault(a.predicate, [])
             while len(slots) < len(a.args):
                 slots.append({})
             for i, t in enumerate(a.args):
-                slots[i].setdefault(t, set()).add(a)
+                slots[i].setdefault(t.tid, set()).add(a)
 
     def _pred_bucket(self, predicate: str):
         return self._by_predicate.get(predicate, _EMPTY)
@@ -165,7 +166,7 @@ def match(
                 continue
             if slots is None or i >= len(slots):
                 return 0
-            c = len(slots[i].get(t, _EMPTY))
+            c = len(slots[i].get(t.tid, _EMPTY))
             if c == 0:
                 return 0
             if best < 0 or c < best:
@@ -183,7 +184,7 @@ def match(
                 continue
             if slots is None or i >= len(slots):
                 return _EMPTY
-            b = slots[i].get(t, _EMPTY)
+            b = slots[i].get(t.tid, _EMPTY)
             if not b:
                 return _EMPTY
             buckets.append(b)

@@ -7,13 +7,18 @@ filtered one fact at a time.  It serves two purposes:
 
 * the reference side of the differential test suite
   (``tests/test_matching_differential.py``), which asserts the indexed
-  engine (:mod:`.engine`) enumerates exactly the same homomorphism sets and
-  drives the chase to identical results;
-* the baseline side of the indexed-vs-naive micro-benchmark
+  engine (:mod:`.engine`) and the compiled-plan backend (:mod:`.plans`)
+  enumerate exactly the same homomorphism sets and drive the chase to
+  identical results;
+* the baseline side of the matching micro-benchmark
   (``benchmarks/test_bench_matching.py``).
 
 Do not "improve" this module — its value is being dumb and obviously
-correct.
+correct.  In particular it deliberately stays on the *uninterned* path:
+it never touches term ids (``Term.tid``) or the term-id-keyed position
+buckets, only whole predicate extents and object-identity comparisons,
+so it also serves as the reference the interning machinery is held
+against.
 """
 
 from __future__ import annotations

@@ -1,0 +1,382 @@
+"""Compiled per-body join plans: the ``"planned"`` matching backend.
+
+The indexed engine (:mod:`.engine`) re-interprets every body on every
+call: it rebuilds per-atom plan tuples, allocates two closures, and runs
+a most-constrained-first *search over atoms* at every node of the
+backtracking tree.  On selective corpora that interpretive overhead is
+noise next to the pruning it buys; on the flat classes of the matching
+bench (tiny candidate pools, very many trigger probes — e.g.
+E1001-5000/G1-10) it **is** the cost.  This module compiles each
+``(body, seeded-variables, frozen_nulls)`` combination once into a
+fixed-order join plan and replays the plan on every subsequent call:
+
+* **Atom order is chosen at compile time** from the index statistics of
+  the first target the plan runs against (bucket sizes / predicate
+  extents), greedily most-constrained-first, instead of being re-derived
+  at every search node.
+* **Each atom becomes one specialised step** — a flat tuple of probe,
+  check and output position lists — executed by a tight loop over the
+  instance's term-id-keyed ``(predicate, position)`` buckets: rigid
+  positions (constants, frozen nulls) compile to bucket probes by the
+  term id burned in at compile time; positions bound by the seed or by an
+  earlier atom compile to bucket probes through a register array; repeated
+  terms within one atom compile to argument identity checks; first
+  occurrences compile to register writes.  No mapping dict is touched
+  until a full homomorphism is emitted.
+* **Plans are cached** in a bounded module-level table keyed by
+  ``(body atoms, seeded flex-term ids restricted to the body,
+  frozen_nulls)`` — exactly the inputs that determine the compiled
+  shape.  The semi-naive discovery loop therefore hits one cached plan
+  per (dependency, anchor atom) pair after the first delta round;
+  :func:`warm` precompiles those pairs up front at chase start.
+
+The backend is *order-free equivalent* to the engine: it enumerates the
+same homomorphism **set**, possibly in a different order, which is the
+contract the backend switch and the differential suites hold every
+backend to (chase decisions are order-insensitive because the runner
+sorts discovery batches canonically; see DESIGN.md §9).
+
+Like the engine, the executor borrows the instance's live buckets; a
+plan holds **no** reference to any instance — only atom structure, term
+objects and term ids — so the cache never pins instance state.  Term ids
+are process-local (:mod:`repro.model.terms`) and never escape into the
+emitted homomorphisms, which map term objects to term objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.terms import Constant, Null, Term, Variable
+from .engine import AdHocIndex, Homomorphism
+
+_EMPTY: frozenset[Atom] = frozenset()
+
+#: Hard cap on cached compiled bodies.  Each entry is a few hundred bytes
+#: of tuples; 4096 covers every corpus class with room to spare, and the
+#: table is simply cleared when it would overflow (compilation is cheap
+#: relative to the chase that triggered it).
+_CACHE_LIMIT = 4096
+
+# (atoms, frozenset of seeded body-flex tids, frozen_nulls) → _Plan
+_plan_cache: dict[tuple, "_Plan"] = {}
+
+
+def clear_cache() -> None:
+    """Drop every compiled plan (test isolation / memory pressure)."""
+    _plan_cache.clear()
+
+
+def cache_size() -> int:
+    return len(_plan_cache)
+
+
+def _is_flex(term: Term, frozen_nulls: bool) -> bool:
+    """Can this body term be bound by the homomorphism (vs rigid)?"""
+    return isinstance(term, Variable) or (
+        isinstance(term, Null) and not frozen_nulls
+    )
+
+
+class _Plan:
+    """A compiled body: fixed atom order + one specialised step per atom.
+
+    ``steps[k]`` is a flat tuple
+    ``(predicate, arity, rigid, bound, checks, outs)`` with
+
+    * ``rigid``  — ``((pos, term), ...)``: bucket-probe by ``term.tid``,
+      then identity-check ``fact.args[pos] is term``;
+    * ``bound``  — ``((pos, reg), ...)``: bucket-probe by the term id of
+      register ``reg`` (seeded, or written by an earlier step);
+    * ``checks`` — ``((pos, pos0), ...)``: within-atom repeats,
+      ``fact.args[pos] is fact.args[pos0]``;
+    * ``outs``   — ``((pos, reg), ...)``: first occurrences, written to
+      register ``reg``.
+
+    ``seed_terms`` lists the seeded body-flex terms in register order
+    0..n; ``out_pairs`` maps the remaining registers back to their terms
+    when a result dict is emitted.
+    """
+
+    __slots__ = ("steps", "seed_terms", "out_pairs", "nregs")
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        order: Sequence[int],
+        seed_terms: Sequence[Term],
+        frozen_nulls: bool,
+    ) -> None:
+        self.seed_terms = tuple(seed_terms)
+        reg_of: dict[Term, int] = {t: i for i, t in enumerate(self.seed_terms)}
+        out_pairs: list[tuple[Term, int]] = []
+        steps = []
+        for j in order:
+            atom = atoms[j]
+            rigid: list[tuple[int, Term]] = []
+            bound: list[tuple[int, int]] = []
+            checks: list[tuple[int, int]] = []
+            outs: list[tuple[int, int]] = []
+            first_pos: dict[Term, int] = {}
+            for pos, s in enumerate(atom.args):
+                if not _is_flex(s, frozen_nulls):
+                    rigid.append((pos, s))
+                elif s in first_pos:
+                    checks.append((pos, first_pos[s]))
+                else:
+                    first_pos[s] = pos
+                    reg = reg_of.get(s)
+                    if reg is None:
+                        reg = len(reg_of)
+                        reg_of[s] = reg
+                        out_pairs.append((s, reg))
+                        outs.append((pos, reg))
+                    else:
+                        bound.append((pos, reg))
+            steps.append((
+                atom.predicate,
+                atom.arity,
+                tuple(rigid),
+                tuple(bound),
+                tuple(checks),
+                tuple(outs),
+            ))
+        self.steps = tuple(steps)
+        self.out_pairs = tuple(out_pairs)
+        self.nregs = len(reg_of)
+
+
+def _estimate(
+    atom: Atom,
+    bound_terms: set[Term],
+    frozen_nulls: bool,
+    idx: Instance | AdHocIndex,
+) -> tuple[float, int]:
+    """(estimated candidate-pool size, -probe count) for greedy ordering.
+
+    Rigid positions contribute their exact compile-time bucket size;
+    positions over already-bound flex terms contribute the *average* cell
+    size of their slot (extent / distinct keys) — the runtime value is
+    unknown at compile time.  No probe at all costs the whole predicate
+    extent.
+    """
+    extent = len(idx._pred_bucket(atom.predicate))
+    slots = idx._pos_slots(atom.predicate)
+    best = float(extent)
+    probes = 0
+    for pos, s in enumerate(atom.args):
+        flex = _is_flex(s, frozen_nulls)
+        if flex and s not in bound_terms:
+            continue
+        probes += 1
+        if slots is None or pos >= len(slots):
+            best = 0.0
+            continue
+        cell = slots[pos]
+        if not flex:
+            size = float(len(cell.get(s.tid, _EMPTY)))
+        else:
+            size = extent / len(cell) if cell else 0.0
+        if size < best:
+            best = size
+    return best, -probes
+
+
+def _order_atoms(
+    atoms: Sequence[Atom],
+    seeded: set[Term],
+    frozen_nulls: bool,
+    idx: Instance | AdHocIndex,
+) -> list[int]:
+    """Greedy most-constrained-first order, decided once at compile time
+    from the statistics of the compiling target's index."""
+    remaining = list(range(len(atoms)))
+    bound = set(seeded)
+    order: list[int] = []
+    while remaining:
+        best_j = min(
+            remaining,
+            key=lambda j: (*_estimate(atoms[j], bound, frozen_nulls, idx), j),
+        )
+        remaining.remove(best_j)
+        order.append(best_j)
+        for s in atoms[best_j].args:
+            if _is_flex(s, frozen_nulls):
+                bound.add(s)
+    return order
+
+
+def _compile(
+    atoms: tuple[Atom, ...],
+    seeded: set[Term],
+    frozen_nulls: bool,
+    idx: Instance | AdHocIndex,
+) -> _Plan:
+    seed_terms = sorted(seeded, key=lambda t: t.tid)
+    order = _order_atoms(atoms, seeded, frozen_nulls, idx)
+    return _Plan(atoms, order, seed_terms, frozen_nulls)
+
+
+def _execute(
+    steps: tuple,
+    depth: int,
+    idx: Instance | AdHocIndex,
+    regs: list,
+) -> Iterator[None]:
+    """Run the plan from ``steps[depth]``; yields once per full match.
+
+    Emission protocol: a bare ``yield`` signals "the registers currently
+    hold one complete homomorphism" — the caller reads ``regs`` while the
+    generator is suspended.  Registers are overwritten, never unwound:
+    each register has exactly one writing step, and deeper steps only
+    read registers written above them.
+    """
+    predicate, arity, rigid, bound, checks, outs = steps[depth]
+    pos_slots = idx._pos_slots(predicate)
+    if pos_slots is None:
+        return  # predicate never seen: no facts to match
+    pool = None
+    best = -1
+    nslots = len(pos_slots)
+    for pos, term in rigid:
+        if pos >= nslots:
+            return
+        b = pos_slots[pos].get(term.tid)
+        if not b:
+            return
+        if best < 0 or len(b) < best:
+            pool, best = b, len(b)
+    for pos, reg in bound:
+        if pos >= nslots:
+            return
+        b = pos_slots[pos].get(regs[reg].tid)
+        if not b:
+            return
+        if best < 0 or len(b) < best:
+            pool, best = b, len(b)
+    if pool is None:
+        pool = idx._pred_bucket(predicate)
+    last = depth + 1 == len(steps)
+    for fact in pool:
+        fargs = fact.args
+        if len(fargs) != arity:
+            continue
+        ok = True
+        for pos, term in rigid:
+            if fargs[pos] is not term:
+                ok = False
+                break
+        if ok:
+            for pos, reg in bound:
+                if fargs[pos] is not regs[reg]:
+                    ok = False
+                    break
+        if ok:
+            for pos, pos0 in checks:
+                if fargs[pos] is not fargs[pos0]:
+                    ok = False
+                    break
+        if not ok:
+            continue
+        for pos, reg in outs:
+            regs[reg] = fargs[pos]
+        if last:
+            yield None
+        else:
+            yield from _execute(steps, depth + 1, idx, regs)
+
+
+def match(
+    source: Sequence[Atom],
+    target: Instance | Iterable[Atom],
+    seed: Mapping[Term, Term] | None = None,
+    frozen_nulls: bool = False,
+    limit: int | None = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from ``source`` into ``target`` via a
+    compiled (and cached) join plan.
+
+    Same contract and same homomorphism *set* as
+    :func:`repro.matching.engine.match` / :func:`repro.matching.naive.match`
+    (order may differ).
+    """
+    idx = target if isinstance(target, Instance) else AdHocIndex(target)
+    base: Homomorphism = dict(seed) if seed else {}
+
+    # Constants in the source must not be seeded to something else (the
+    # engine rejects these wholesale, irrespective of body membership).
+    for k, v in base.items():
+        if isinstance(k, Constant) and k is not v:
+            return
+
+    atoms = tuple(source)
+    if not atoms:
+        yield dict(base)
+        return
+
+    seeded = {
+        s
+        for a in atoms
+        for s in a.args
+        if _is_flex(s, frozen_nulls) and s in base
+    }
+    key = (atoms, frozenset(t.tid for t in seeded), frozen_nulls)
+    plan = _plan_cache.get(key)
+    if plan is None:
+        if len(_plan_cache) >= _CACHE_LIMIT:
+            _plan_cache.clear()
+        plan = _compile(atoms, seeded, frozen_nulls, idx)
+        _plan_cache[key] = plan
+
+    regs: list = [None] * plan.nregs
+    for i, t in enumerate(plan.seed_terms):
+        regs[i] = base[t]
+
+    out_pairs = plan.out_pairs
+    count = 0
+    for _ in _execute(plan.steps, 0, idx, regs):
+        h = dict(base)
+        for t, reg in out_pairs:
+            h[t] = regs[reg]
+        yield h
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def warm(
+    bodies: Iterable[Sequence[Atom]],
+    target: Instance | Iterable[Atom],
+    frozen_nulls: bool = False,
+) -> int:
+    """Precompile the plans a chase over ``bodies`` will need.
+
+    For every body: the unseeded plan (initial full enumeration) plus one
+    plan per body atom seeded with that atom's variables — exactly the
+    seed shapes :func:`repro.matching.engine.seed_mapping` produces during
+    semi-naive delta discovery.  Returns the number of plans compiled
+    fresh (cached ones are skipped).  Purely an optimisation: a cold
+    cache compiles lazily on first use with identical results.
+    """
+    idx = target if isinstance(target, Instance) else AdHocIndex(target)
+    compiled = 0
+    for body in bodies:
+        atoms = tuple(body)
+        if not atoms:
+            continue
+        seed_sets = [set()]
+        for anchor in atoms:
+            seed_sets.append(
+                {s for s in anchor.args if _is_flex(s, frozen_nulls)}
+            )
+        for seeded in seed_sets:
+            key = (atoms, frozenset(t.tid for t in seeded), frozen_nulls)
+            if key in _plan_cache:
+                continue
+            if len(_plan_cache) >= _CACHE_LIMIT:
+                _plan_cache.clear()
+            _plan_cache[key] = _compile(atoms, seeded, frozen_nulls, idx)
+            compiled += 1
+    return compiled

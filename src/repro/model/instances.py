@@ -8,9 +8,13 @@ depends on for performance:
 
 * a predicate index (``predicate → set of facts``) used by the homomorphism
   finder,
-* a position index (``(predicate, position) → term → set of facts``) used by
-  the indexed matching engine (:mod:`repro.matching`) to intersect candidate
-  buckets instead of scanning whole predicate extents, and
+* a position index (``(predicate, position) → term id → set of facts``)
+  used by the indexed matching engine and the compiled plans
+  (:mod:`repro.matching`) to intersect candidate buckets instead of
+  scanning whole predicate extents.  Its cells are keyed by the interned
+  term id (``term.tid``, a process-local small int — see
+  :mod:`repro.model.terms`) rather than the term object, so the hot
+  probe path hashes ints, and
 * a term index (``term → set of facts containing it``) used by EGD chase
   steps, which must rewrite every fact mentioning the merged null.
 
@@ -93,9 +97,10 @@ class Instance:
         self._facts: set[Atom] = set()
         self._by_predicate: dict[str, set[Atom]] = {}
         self._by_term: dict[Term, set[Atom]] = {}
-        # predicate → per-position list of (term → facts with that term
-        # at that position) buckets.
-        self._by_pos: dict[str, list[dict[Term, set[Atom]]]] = {}
+        # predicate → per-position list of (term id → facts with that term
+        # at that position) buckets; keyed by ``term.tid`` so probes hash
+        # small ints instead of term objects.
+        self._by_pos: dict[str, list[dict[int, set[Atom]]]] = {}
         # Monotone delta log; see the module docstring.
         self._log: list[Atom] = []
         # Undo log: None unless at least one savepoint is active, so the
@@ -122,7 +127,7 @@ class Instance:
             slots.append({})
         for i, t in enumerate(fact.args):
             self._by_term.setdefault(t, set()).add(fact)
-            slots[i].setdefault(t, set()).add(fact)
+            slots[i].setdefault(t.tid, set()).add(fact)
         return grown if grown > 0 else 0
 
     def _index_remove(self, fact: Atom) -> None:
@@ -144,11 +149,12 @@ class Instance:
         slots = self._by_pos.get(fact.predicate)
         if slots is not None:
             for i, t in enumerate(fact.args):
-                cell = slots[i].get(t)
+                tid = t.tid
+                cell = slots[i].get(tid)
                 if cell is not None:
                     cell.discard(fact)
                     if not cell:
-                        del slots[i][t]
+                        del slots[i][tid]
 
     # -- mutation ---------------------------------------------------------
 
@@ -359,7 +365,7 @@ class Instance:
         out._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
         out._by_term = {t: set(s) for t, s in self._by_term.items()}
         out._by_pos = {
-            pred: [{t: set(s) for t, s in cells.items()} for cells in slots]
+            pred: [{tid: set(s) for tid, s in cells.items()} for cells in slots]
             for pred, slots in self._by_pos.items()
         }
         return out
@@ -390,10 +396,12 @@ class Instance:
         slots = self._by_pos.get(predicate)
         if slots is None or index >= len(slots):
             return _EMPTY_SET
-        return slots[index].get(term, _EMPTY_SET)
+        return slots[index].get(term.tid, _EMPTY_SET)
 
-    def _pos_slots(self, predicate: str) -> list[dict[Term, set[Atom]]] | None:
-        """Live per-position bucket list for ``predicate`` (or None)."""
+    def _pos_slots(self, predicate: str) -> list[dict[int, set[Atom]]] | None:
+        """Live per-position bucket list for ``predicate`` (or None).
+
+        Cells are keyed by term id (``term.tid``), not by term object."""
         return self._by_pos.get(predicate)
 
     def predicates(self) -> set[str]:

@@ -9,6 +9,18 @@ same term twice yields the same object, so identity comparison is safe and
 sets/dicts over terms are fast.  Interning matters because the chase engine
 and the homomorphism finder handle millions of term lookups on larger
 workloads.
+
+Besides object identity, every interned term carries a **term id**
+(:attr:`Term.tid`): a process-local small int allocated once per distinct
+term, shared across all term kinds (constants, nulls, variables, and the
+Skolem terms of :mod:`repro.chase.skolem`).  Hot structures key on the id
+instead of the object — the instance's ``(predicate, position)`` buckets,
+the compiled matcher plans' probes (:mod:`repro.matching.plans`), the
+runner's fired-trigger keys — so their dict operations hash small ints
+rather than objects, and a compiled plan can burn a term's id into a
+probe at compile time.  Term ids are *process-local and allocation-order
+dependent*: they must never reach a persisted artefact (fingerprints,
+JSONL records, cursors) — see DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -17,9 +29,23 @@ import itertools
 import threading
 from typing import Union
 
+#: The shared term-id allocator.  ``next()`` on an ``itertools.count`` is
+#: atomic under the GIL, so allocation needs no lock of its own; the
+#: per-class intern locks already serialise the assignment to each term.
+_TID_COUNTER = itertools.count(1)
+
+
+def next_term_id() -> int:
+    """Allocate a fresh term id (for :class:`Term` subclasses' interners)."""
+    return next(_TID_COUNTER)
+
 
 class Term:
-    """Abstract base class for constants, labelled nulls, and variables."""
+    """Abstract base class for constants, labelled nulls, and variables.
+
+    Every concrete term carries a process-local ``tid`` small int assigned
+    at intern time (see the module docstring).
+    """
 
     __slots__ = ()
 
@@ -44,7 +70,7 @@ class Constant(Term):
     ``h(c) = c``.
     """
 
-    __slots__ = ("value", "__weakref__")
+    __slots__ = ("value", "tid", "__weakref__")
 
     _intern: dict[object, "Constant"] = {}
     _lock = threading.Lock()
@@ -58,6 +84,7 @@ class Constant(Term):
             if cached is None:
                 cached = super().__new__(cls)
                 object.__setattr__(cached, "value", value)
+                object.__setattr__(cached, "tid", next_term_id())
                 cls._intern[value] = cached
         return cached
 
@@ -84,7 +111,7 @@ class Null(Term):
     existentially quantified variables.
     """
 
-    __slots__ = ("label", "__weakref__")
+    __slots__ = ("label", "tid", "__weakref__")
 
     _intern: dict[int, "Null"] = {}
     _lock = threading.Lock()
@@ -98,6 +125,7 @@ class Null(Term):
             if cached is None:
                 cached = super().__new__(cls)
                 object.__setattr__(cached, "label", label)
+                object.__setattr__(cached, "tid", next_term_id())
                 cls._intern[label] = cached
         return cached
 
@@ -117,7 +145,7 @@ class Null(Term):
 class Variable(Term):
     """A variable from ``Vars``, identified by its name."""
 
-    __slots__ = ("name", "__weakref__")
+    __slots__ = ("name", "tid", "__weakref__")
 
     _intern: dict[str, "Variable"] = {}
     _lock = threading.Lock()
@@ -131,6 +159,7 @@ class Variable(Term):
             if cached is None:
                 cached = super().__new__(cls)
                 object.__setattr__(cached, "name", name)
+                object.__setattr__(cached, "tid", next_term_id())
                 cls._intern[name] = cached
         return cached
 

@@ -29,7 +29,14 @@ ARTIFACTS_NAME = "artifacts.jsonl"
 
 
 class _AppendLog:
-    """A durably appended JSONL file (open lazily, fsync per line)."""
+    """A durably appended JSONL file (open lazily, fsync per line).
+
+    When the first append *creates* the file, the parent directory is
+    fsynced too: fsyncing the file makes its **contents** durable, but
+    the directory entry naming it lives in the directory's own metadata,
+    and without the directory sync a machine crash can forget the file
+    wholesale — acknowledged records and all.
+    """
 
     def __init__(self, path: pathlib.Path, durable: bool = True) -> None:
         self.path = path
@@ -38,11 +45,27 @@ class _AppendLog:
 
     def append(self, line: str) -> None:
         if self._fh is None:
+            created = not self.path.exists()
             self._fh = self.path.open("a", encoding="utf-8")
+            if created and self.durable:
+                self._sync_directory()
         self._fh.write(line + "\n")
         self._fh.flush()
         if self.durable:
             os.fsync(self._fh.fileno())
+
+    def _sync_directory(self) -> None:
+        """Make the file's directory entry durable (POSIX only; platforms
+        that cannot open a directory read-only skip silently)."""
+        flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+        try:
+            dirfd = os.open(self.path.parent, flags)
+        except OSError:
+            return
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -94,10 +94,18 @@ def headline(record: dict) -> str:
 
 
 def index_row(seq: int, entry: dict) -> dict:
-    """Project one stored cache entry onto the flat, queryable row."""
+    """Project one stored cache entry onto the flat, queryable row.
+
+    ``elapsed_ms`` is the one nullable sort field: a record that never
+    measured wall-clock (e.g. imported from an external tool) keeps
+    ``None`` rather than being coerced to a fake ``0.0`` — backends store
+    it as SQL NULL and both query implementations order it NULLs-first
+    ascending / NULLs-last descending (SQLite's native NULL ordering).
+    """
     record = entry.get("record") or {}
     data = record.get("data") or {}
     exhausted = record.get("exhausted") or None
+    elapsed = record.get("elapsed_ms")
     return {
         "seq": seq,
         "key": str(entry.get("key", "")),
@@ -106,7 +114,7 @@ def index_row(seq: int, entry: dict) -> dict:
         "verdict": headline(record),
         "accepted": [str(c) for c in (data.get("accepted_by") or [])],
         "exhausted": exhausted.get("dimension") if exhausted else None,
-        "elapsed_ms": float(record.get("elapsed_ms") or 0.0),
+        "elapsed_ms": None if elapsed is None else float(elapsed or 0.0),
     }
 
 
@@ -135,6 +143,10 @@ def encode_cursor(row: dict, sort_field: str) -> str:
     return json.dumps([row[sort_field], row["seq"]], separators=(",", ":"))
 
 
+#: Sort fields whose row value (and therefore cursor value) may be NULL.
+NULLABLE_SORT_FIELDS = frozenset({"elapsed_ms"})
+
+
 def decode_cursor(cursor: str, sort_field: str) -> tuple[object, int]:
     """Inverse of :func:`encode_cursor`, validated."""
     try:
@@ -142,6 +154,8 @@ def decode_cursor(cursor: str, sort_field: str) -> tuple[object, int]:
         seq = int(seq)
     except (ValueError, TypeError) as exc:
         raise QueryError(f"malformed cursor {cursor!r}") from exc
+    if value is None and sort_field in NULLABLE_SORT_FIELDS:
+        return None, seq
     expect = float if sort_field == "elapsed_ms" else (
         int if sort_field == "seq" else str
     )
@@ -152,6 +166,18 @@ def decode_cursor(cursor: str, sort_field: str) -> tuple[object, int]:
             f"cursor {cursor!r} does not fit sort field {sort_field!r}"
         )
     return value, seq
+
+
+def sort_key(row_value: object, seq: int) -> tuple:
+    """The total-order key shared by both query implementations.
+
+    NULL sorts first ascending / last descending — SQLite's native NULL
+    ordering — and the leading is-not-null flag keeps a ``None`` from
+    ever being compared against a real value.  ``seq`` breaks ties.
+    """
+    if row_value is None:
+        return (False, 0, seq)
+    return (True, row_value, seq)
 
 
 # -- the reference implementation ---------------------------------------------
@@ -175,17 +201,18 @@ def query_rows(rows: list[dict], q: ResultQuery) -> QueryPage:
     sort_field, descending = q.order()
     selected = [r for r in rows if matches(r, q)]
     selected.sort(
-        key=lambda r: (r[sort_field], r["seq"]), reverse=descending
+        key=lambda r: sort_key(r[sort_field], r["seq"]), reverse=descending
     )
     if q.cursor is not None:
         value, seq = decode_cursor(q.cursor, sort_field)
+        mark = sort_key(value, seq)
         if descending:
             selected = [
-                r for r in selected if (r[sort_field], r["seq"]) < (value, seq)
+                r for r in selected if sort_key(r[sort_field], r["seq"]) < mark
             ]
         else:
             selected = [
-                r for r in selected if (r[sort_field], r["seq"]) > (value, seq)
+                r for r in selected if sort_key(r[sort_field], r["seq"]) > mark
             ]
     page = selected[: q.limit]
     next_cursor = None

@@ -45,6 +45,7 @@ from typing import Iterator
 
 from ..io import iter_jsonl
 from .query import (
+    NULLABLE_SORT_FIELDS,
     QueryPage,
     ResultQuery,
     decode_cursor,
@@ -60,7 +61,10 @@ BUSY_TIMEOUT_MS = 30_000
 
 STORE_NAME = "store.sqlite"
 
-_DDL = """
+# ``elapsed_ms`` is nullable: a record with no wall-clock measurement
+# stores SQL NULL, matching the None the row projection now preserves
+# (see repro.store.query.index_row).
+_RESULTS_DDL = """
 CREATE TABLE IF NOT EXISTS results (
     seq        INTEGER PRIMARY KEY AUTOINCREMENT,
     schema     INTEGER NOT NULL,
@@ -70,14 +74,24 @@ CREATE TABLE IF NOT EXISTS results (
     verdict    TEXT    NOT NULL DEFAULT '',
     accepted   TEXT    NOT NULL DEFAULT '',
     exhausted  TEXT,
-    elapsed_ms REAL    NOT NULL DEFAULT 0.0,
+    elapsed_ms REAL,
     entry      TEXT    NOT NULL,
     UNIQUE (schema, key)
-);
-CREATE INDEX IF NOT EXISTS results_by_verdict
-    ON results (schema, verdict, seq);
-CREATE INDEX IF NOT EXISTS results_by_name
-    ON results (schema, name, seq);
+)
+"""
+
+_RESULTS_INDEX_DDL = (
+    "CREATE INDEX IF NOT EXISTS results_by_verdict "
+    "    ON results (schema, verdict, seq)",
+    "CREATE INDEX IF NOT EXISTS results_by_name "
+    "    ON results (schema, name, seq)",
+)
+
+_DDL = (
+    _RESULTS_DDL
+    + ";\n"
+    + ";\n".join(_RESULTS_INDEX_DDL)
+    + """;
 CREATE TABLE IF NOT EXISTS artifacts (
     schema   INTEGER NOT NULL,
     key      TEXT    NOT NULL,
@@ -86,6 +100,7 @@ CREATE TABLE IF NOT EXISTS artifacts (
     PRIMARY KEY (schema, key, identity)
 );
 """
+)
 
 
 class StoreError(RuntimeError):
@@ -154,12 +169,44 @@ class _Handle:
 
 def _init_schema(handle: _Handle) -> None:
     try:
-        handle.conn().executescript(_DDL)
+        conn = handle.conn()
+        conn.executescript(_DDL)
+        _relax_elapsed_ms(conn)
     except sqlite3.DatabaseError as exc:
         raise StoreCorruptionError(
             f"{handle.path} is not a usable SQLite store ({exc}); restore "
             f"it from a JSONL export (repro batch import-jsonl)"
         ) from exc
+
+
+def _relax_elapsed_ms(conn: sqlite3.Connection) -> None:
+    """Migrate legacy stores whose ``elapsed_ms`` was ``NOT NULL``.
+
+    Earlier schema versions coerced a missing measurement to ``0.0`` and
+    declared the column ``NOT NULL DEFAULT 0.0``; SQLite cannot drop a
+    column constraint in place, so such tables are rebuilt once (rename,
+    recreate, copy, drop) inside one transaction.  Existing ``0.0``
+    values are kept verbatim — only *new* records distinguish "not
+    measured" (NULL) from "measured as zero".
+    """
+    info = conn.execute("PRAGMA table_info(results)").fetchall()
+    # PRAGMA table_info columns: cid, name, type, notnull, dflt_value, pk
+    if not any(col[1] == "elapsed_ms" and col[3] for col in info):
+        return
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        conn.execute("ALTER TABLE results RENAME TO results_legacy")
+        conn.execute(_RESULTS_DDL)
+        conn.execute("INSERT INTO results SELECT * FROM results_legacy")
+        # Dropping the legacy table also drops the indexes that followed
+        # it through the rename; recreate them on the rebuilt table.
+        conn.execute("DROP TABLE results_legacy")
+        for ddl in _RESULTS_INDEX_DDL:
+            conn.execute(ddl)
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
 
 
 def _like_escape(text: str) -> str:
@@ -336,8 +383,35 @@ class SqliteResultBackend:
         if q.cursor is not None:
             value, seq = decode_cursor(q.cursor, sort_field)
             op = "<" if descending else ">"
-            where.append(f"({sort_field}, seq) {op} (?, ?)")
-            args.extend([value, seq])
+            if sort_field in NULLABLE_SORT_FIELDS:
+                # A bare row-value comparison evaluates to NULL when the
+                # sort value is NULL, silently dropping those rows from
+                # the walk.  Spell out SQLite's native NULL ordering
+                # (NULLs first ASC / last DESC) so the predicate agrees
+                # with query_rows' sort_key on every row.
+                f = sort_field
+                if value is None:
+                    if descending:
+                        where.append(f"({f} IS NULL AND seq < ?)")
+                    else:
+                        where.append(
+                            f"(({f} IS NULL AND seq > ?) OR {f} IS NOT NULL)"
+                        )
+                    args.append(seq)
+                else:
+                    if descending:
+                        where.append(
+                            f"(({f} IS NOT NULL AND ({f}, seq) {op} (?, ?)) "
+                            f"OR {f} IS NULL)"
+                        )
+                    else:
+                        where.append(
+                            f"({f} IS NOT NULL AND ({f}, seq) {op} (?, ?))"
+                        )
+                    args.extend([value, seq])
+            else:
+                where.append(f"({sort_field}, seq) {op} (?, ?)")
+                args.extend([value, seq])
         order = "DESC" if descending else "ASC"
         sql = (
             "SELECT seq, key, params, name, verdict, accepted, exhausted, "

@@ -3,6 +3,7 @@
 import time
 
 from repro.budget import (
+    _CLOCK_STRIDE,
     Budget,
     BudgetExhausted,
     Cancellation,
@@ -44,6 +45,33 @@ class TestBudget:
         assert not b.ok
         assert b.exhausted.dimension == "wall_ms"
         assert not b.charge()
+
+    def test_bulk_charge_observes_wall_clock_within_one_stride(self):
+        # Regression: charge(n) used to tick the stride countdown by 1
+        # regardless of n, so a loop bulk-charging n=stride units polled
+        # the wall clock stride× less often than a unit-charging loop.
+        # The countdown must consume n: after one arming charge, a single
+        # further charge of a full stride has covered stride units of
+        # work and must observe the expired clock.
+        b = Budget(max_ms=5.0)
+        assert b.charge(_CLOCK_STRIDE)  # first charge always checks; arms countdown
+        time.sleep(0.05)
+        assert not b.charge(_CLOCK_STRIDE)
+        assert b.exhausted.dimension == "wall_ms"
+
+    def test_bulk_charge_facts_observes_cancellation_within_one_stride(self):
+        token = Cancellation()
+        b = Budget(cancellation=token)
+        assert b.charge_facts(_CLOCK_STRIDE)
+        token.cancel()
+        charges_after_cancel = 0
+        while b.charge_facts(_CLOCK_STRIDE):
+            charges_after_cancel += 1
+        # One stride of work may slip through before the gated check
+        # fires; with the old off-by-(n-1) countdown this loop ran
+        # _CLOCK_STRIDE iterations (stride² units) before noticing.
+        assert charges_after_cancel <= 1
+        assert b.exhausted.dimension == "cancelled"
 
     def test_cancellation_token(self):
         token = Cancellation()

@@ -125,6 +125,39 @@ class TestBudgetLoop:
             """})
         assert rules_of(report) == ["budget-loop"]
 
+    def test_passes_hoisted_bound_charge_helper(self, tmp_path):
+        # Plan-compiled hot loops hoist the bound method out of the loop
+        # (``charge = budget.charge``); the bare-name call still polls.
+        report = lint_tree(tmp_path, {self.PATH: """\
+            def run(pending, budget):
+                charge = budget.charge
+                while pending:
+                    if not charge():
+                        break
+                    pending.pop()
+            """})
+        assert report.clean
+
+    def test_passes_hoisted_private_charge_facts_helper(self, tmp_path):
+        report = lint_tree(tmp_path, {self.PATH: """\
+            def run(pending, budget):
+                _charge_facts = budget.charge_facts
+                while pending:
+                    if not _charge_facts(3):
+                        break
+                    pending.pop()
+            """})
+        assert report.clean
+
+    def test_unrelated_bare_call_does_not_vouch(self, tmp_path):
+        report = lint_tree(tmp_path, {self.PATH: """\
+            def run(pending, advance):
+                while pending:
+                    advance()
+                    pending.pop()
+            """})
+        assert rules_of(report) == ["budget-loop"]
+
     def test_out_of_scope_module_is_not_patrolled(self, tmp_path):
         report = lint_tree(tmp_path, {"src/repro/util.py": """\
             def spin(pending):

@@ -1,10 +1,12 @@
-"""Differential tests: indexed matching engine vs the retained naive reference.
+"""Differential tests: every matching backend vs the naive reference.
 
-The indexed engine (``repro.matching.engine``) must be *observationally
+The indexed engine (``repro.matching.engine``) and the plan-compiled
+engine (``repro.matching.plans``) must both be *observationally
 identical* to the naive reference (``repro.matching.naive``):
 
-* both enumerate exactly the same homomorphism sets (order may differ);
-* a chase run driven by either backend produces the identical
+* all three enumerate exactly the same homomorphism sets (order may
+  differ);
+* a chase run driven by any backend produces the identical
   ``ChaseResult`` — status, step count, and final instance — for all three
   variants and all strategies, because the runner pushes each discovery
   batch in a canonical order;
@@ -32,6 +34,7 @@ from repro.generators.databases import seed_database
 from repro.generators.random_deps import random_dependency_set
 from repro.matching import engine as indexed_engine
 from repro.matching import naive as naive_engine
+from repro.matching import plans as planned_engine
 from repro.model.atoms import Atom
 from repro.model.instances import Instance
 from repro.model.terms import Constant, Null
@@ -80,9 +83,13 @@ def test_homomorphism_sets_identical_on_random_programs():
         sigma = random_dependency_set(seed, n_deps=6)
         inst = random_instance(seed * 7 + 1, sigma)
         for dep in sigma:
-            assert hom_set(indexed_engine, dep.body, inst) == hom_set(
-                naive_engine, dep.body, inst
-            ), f"seed={seed} dep={dep}"
+            want = hom_set(naive_engine, dep.body, inst)
+            assert hom_set(indexed_engine, dep.body, inst) == want, (
+                f"seed={seed} dep={dep}"
+            )
+            assert hom_set(planned_engine, dep.body, inst) == want, (
+                f"seed={seed} dep={dep} (planned)"
+            )
 
 
 def test_homomorphism_sets_identical_with_seeds_and_frozen_nulls():
@@ -98,13 +105,21 @@ def test_homomorphism_sets_identical_with_seeds_and_frozen_nulls():
                 if partial is None:
                     continue
                 for frozen in (False, True):
+                    want = hom_set(
+                        naive_engine, dep.body, inst, seed=partial,
+                        frozen_nulls=frozen,
+                    )
                     assert hom_set(
                         indexed_engine, dep.body, inst, seed=partial,
                         frozen_nulls=frozen,
-                    ) == hom_set(
-                        naive_engine, dep.body, inst, seed=partial,
+                    ) == want, f"seed={seed} dep={dep} fact={fact} frozen={frozen}"
+                    assert hom_set(
+                        planned_engine, dep.body, inst, seed=partial,
                         frozen_nulls=frozen,
-                    ), f"seed={seed} dep={dep} fact={fact} frozen={frozen}"
+                    ) == want, (
+                        f"seed={seed} dep={dep} fact={fact} "
+                        f"frozen={frozen} (planned)"
+                    )
 
 
 def test_homomorphism_sets_identical_on_corpus_bodies():
@@ -113,9 +128,13 @@ def test_homomorphism_sets_identical_on_corpus_bodies():
     for ont in corpus:
         db = seed_database(ont.sigma)
         for dep in list(ont.sigma)[:15]:
-            assert hom_set(indexed_engine, dep.body, db) == hom_set(
-                naive_engine, dep.body, db
-            ), f"{ont.name} dep={dep}"
+            want = hom_set(naive_engine, dep.body, db)
+            assert hom_set(indexed_engine, dep.body, db) == want, (
+                f"{ont.name} dep={dep}"
+            )
+            assert hom_set(planned_engine, dep.body, db) == want, (
+                f"{ont.name} dep={dep} (planned)"
+            )
 
 
 def test_non_instance_targets_and_empty_sources():
@@ -125,11 +144,12 @@ def test_non_instance_targets_and_empty_sources():
     facts = [Atom("E", (a, b)), Atom("E", (b, a)), Atom("N", (a,))]
     sigma = random_dependency_set(3, n_deps=4)
     for dep in sigma:
-        assert hom_set(indexed_engine, dep.body, facts) == hom_set(
-            naive_engine, dep.body, facts
-        )
+        want = hom_set(naive_engine, dep.body, facts)
+        assert hom_set(indexed_engine, dep.body, facts) == want
+        assert hom_set(planned_engine, dep.body, facts) == want
     assert list(indexed_engine.match([], facts, seed={a: a})) == [{a: a}]
     assert list(naive_engine.match([], facts, seed={a: a})) == [{a: a}]
+    assert list(planned_engine.match([], facts, seed={a: a})) == [{a: a}]
 
 
 # -- chase differential -------------------------------------------------------
@@ -142,17 +162,19 @@ def test_chase_differential_on_random_programs():
         db = random_instance(seed * 13 + 3, sigma, n_facts=8, n_nulls=0)
         for variant in VARIANTS:
             for strategy in ("fifo", "full_first"):
-                r_idx = run_chase(
-                    db, sigma, variant=variant, strategy=strategy,
-                    max_steps=50, engine="indexed",
-                )
                 r_nai = run_chase(
                     db, sigma, variant=variant, strategy=strategy,
                     max_steps=50, engine="naive",
                 )
-                assert_same_result(
-                    r_idx, r_nai, f"seed={seed} {variant}/{strategy}"
-                )
+                for engine in ("indexed", "planned"):
+                    r_eng = run_chase(
+                        db, sigma, variant=variant, strategy=strategy,
+                        max_steps=50, engine=engine,
+                    )
+                    assert_same_result(
+                        r_eng, r_nai,
+                        f"seed={seed} {variant}/{strategy} ({engine})",
+                    )
 
 
 def test_chase_differential_all_strategies():
@@ -163,17 +185,19 @@ def test_chase_differential_all_strategies():
         for variant in VARIANTS:
             for strategy in ("fifo", "lifo", "full_first", "egd_first",
                              "existential_first"):
-                r_idx = run_chase(
-                    db, sigma, variant=variant, strategy=strategy,
-                    max_steps=40, engine="indexed",
-                )
                 r_nai = run_chase(
                     db, sigma, variant=variant, strategy=strategy,
                     max_steps=40, engine="naive",
                 )
-                assert_same_result(
-                    r_idx, r_nai, f"seed={seed} {variant}/{strategy}"
-                )
+                for engine in ("indexed", "planned"):
+                    r_eng = run_chase(
+                        db, sigma, variant=variant, strategy=strategy,
+                        max_steps=40, engine=engine,
+                    )
+                    assert_same_result(
+                        r_eng, r_nai,
+                        f"seed={seed} {variant}/{strategy} ({engine})",
+                    )
 
 
 def test_chase_differential_on_corpus():
@@ -182,15 +206,18 @@ def test_chase_differential_on_corpus():
     for ont in corpus:
         db = seed_database(ont.sigma)
         for variant in VARIANTS:
-            r_idx = run_chase(
-                db, ont.sigma, variant=variant, strategy="full_first",
-                max_steps=150, engine="indexed",
-            )
             r_nai = run_chase(
                 db, ont.sigma, variant=variant, strategy="full_first",
                 max_steps=150, engine="naive",
             )
-            assert_same_result(r_idx, r_nai, f"{ont.name} {variant}")
+            for engine in ("indexed", "planned"):
+                r_eng = run_chase(
+                    db, ont.sigma, variant=variant, strategy="full_first",
+                    max_steps=150, engine=engine,
+                )
+                assert_same_result(
+                    r_eng, r_nai, f"{ont.name} {variant} ({engine})"
+                )
 
 
 def test_semi_naive_discovery_is_exhaustive():

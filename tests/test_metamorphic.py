@@ -120,6 +120,39 @@ class TestFingerprintInvariance:
         assert canonical_fingerprint(sigma) == "2807ce94cd39e738"
 
 
+class TestFingerprintIgnoresTermIds:
+    """Term interning (``Term.tid``, DESIGN.md §9) is process-local
+    machinery: the persisted fingerprint must be a pure function of
+    structure, independent of the order in which this process happened
+    to allocate term ids."""
+
+    def test_first_occurrence_numbering_not_tid_order(self):
+        from repro.model.terms import Variable
+
+        p1 = parse_dependencies("r: P(x1, x2) -> exists z1. Q(x2, z1)")
+        # Pre-allocate the twin's variables in *reverse* occurrence
+        # order (references held so the weak interner keeps the tids):
+        # w3 gets the smallest tid but occurs last, so any leak of tid
+        # order into variable numbering would flip the encoding.
+        held = [Variable(n) for n in ("w3", "w2", "w1")]
+        p2 = parse_dependencies("r: P(w1, w2) -> exists w3. Q(w2, w3)")
+        assert canonical_fingerprint(p1) == canonical_fingerprint(p2)
+        del held
+
+    def test_fingerprint_survives_tid_counter_churn(self):
+        from repro.model.terms import Null
+
+        rng = random.Random(99)
+        for seed, sigma in programs()[:50]:
+            before = canonical_fingerprint(sigma)
+            # Burn a stretch of the global tid counter, then re-take the
+            # fingerprint of a renamed twin built from brand-new terms.
+            churn = [Null(500_000 + seed * 100 + i) for i in range(60)]
+            twin = random_isomorph(sigma, seed=seed + 7)
+            assert canonical_fingerprint(twin) == before, f"seed {seed}"
+            del churn
+
+
 class TestVerdictInvariance:
     """Criteria must not distinguish a program from its isomorphs."""
 

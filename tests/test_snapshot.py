@@ -239,6 +239,67 @@ class TestBorrowingAccessorsAcrossRollback:
         assert inst._pos_slots("R") is None
 
 
+class TestInternedIndexes:
+    """The position index is keyed by interned term ids (DESIGN.md §9);
+    the keys must track the terms' tids exactly and the undo log must
+    restore them regardless of how the global tid counter moves."""
+
+    def test_position_index_is_keyed_by_term_ids(self):
+        inst = Instance([Atom("Q", (a, b)), Atom("Q", (a, c))])
+        slots = inst._by_pos["Q"]
+        assert set(slots[0]) == {a.tid}
+        assert set(slots[1]) == {b.tid, c.tid}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_rollback_is_immune_to_tid_counter_churn(self, seed):
+        """Interleave throwaway term allocations (each minting a fresh
+        tid) with the mutation script: the tid-keyed indexes must still
+        restore exactly — rollback depends on term identity, never on
+        the counter's position."""
+        rng = random.Random(2000 + seed)
+        inst = Instance(random_fact(rng) for _ in range(6))
+        pristine, tick, log = inst.copy(), inst.tick, list(inst._log)
+        sp = inst.savepoint()
+        churn = []  # hold references so the weak interner keeps the tids
+        for i in range(40):
+            churn.append(Null(100_000 + seed * 1000 + i))
+            op = rng.random()
+            if op < 0.6:
+                inst.add(random_fact(rng))
+            elif op < 0.8:
+                live = list(inst)
+                if live:
+                    inst.discard(rng.choice(live))
+            else:
+                nulls = sorted(inst.nulls(), key=lambda n: n.label)
+                if nulls:
+                    old = rng.choice(nulls)
+                    new = rng.choice([t for t in _terms_pool() if t is not old])
+                    inst.merge_terms(old, new)
+        inst.rollback(sp)
+        assert_state_equals(inst, pristine, tick, log)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_probe_agrees_with_uninterned_scan_after_rollback(self, seed):
+        """The tid-keyed probe answers exactly what an uninterned scan
+        over the fact set answers, before and after a rollback."""
+        rng = random.Random(3000 + seed)
+        inst = Instance(random_fact(rng) for _ in range(10))
+        sp = inst.savepoint()
+        for _ in range(15):
+            inst.add(random_fact(rng))
+        inst.rollback(sp)
+        for pred, arity in PREDS:
+            for i in range(arity):
+                for t in _terms_pool():
+                    scan = {
+                        f for f in inst
+                        if f.predicate == pred
+                        and len(f.args) > i and f.args[i] is t
+                    }
+                    assert set(inst._pos_bucket(pred, i, t)) == scan
+
+
 class TestCoreInPlace:
     def test_core_fresh_never_mutates_input(self):
         from repro.homomorphism import core

@@ -238,6 +238,64 @@ class TestTornFiles:
             assert reopened.get(f"k{i}", "params") == {"i": i}
 
 
+class TestDirectoryEntryDurability:
+    """Creating a JSONL log must fsync the parent directory.
+
+    ``fsync`` on the file makes its *contents* durable; the directory
+    entry naming the file lives in the directory's own metadata, and a
+    machine crash between file creation and the directory sync can
+    forget the file wholesale — acknowledged records and all.  A process
+    kill cannot reproduce that (the kernel keeps the dirent), so these
+    tests observe the syscalls instead: the first append to a *fresh*
+    log must fsync a directory fd, appends to an existing log must not.
+    """
+
+    @staticmethod
+    def _record_fsyncs(monkeypatch) -> list[bool]:
+        """Arrange for ``synced`` to collect one is-a-directory flag per
+        ``os.fsync`` call (the real sync still happens)."""
+        import stat
+
+        synced: list[bool] = []
+        real = os.fsync
+
+        def recording(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real(fd)
+
+        monkeypatch.setattr(os, "fsync", recording)
+        return synced
+
+    def test_first_append_to_a_fresh_log_syncs_the_directory(
+        self, tmp_path, monkeypatch
+    ):
+        synced = self._record_fsyncs(monkeypatch)
+        cache = ResultCache(tmp_path, backend="jsonl")
+        cache.put("k", "params", {"i": 0})
+        cache.close()
+        assert any(synced), "parent directory never fsynced on file creation"
+        assert not all(synced)  # the line itself was fsynced too
+
+    def test_appends_to_an_existing_log_skip_the_directory(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path, backend="jsonl")
+        cache.put("k0", "params", {"i": 0})
+        cache.close()
+        synced = self._record_fsyncs(monkeypatch)
+        reopened = ResultCache(tmp_path, backend="jsonl")
+        reopened.put("k1", "params", {"i": 1})
+        reopened.close()
+        assert synced and not any(synced)
+
+    def test_non_durable_mode_never_syncs(self, tmp_path, monkeypatch):
+        synced = self._record_fsyncs(monkeypatch)
+        cache = ResultCache(tmp_path, backend="jsonl", durable=False)
+        cache.put("k", "params", {"i": 0})
+        cache.close()
+        assert not synced
+
+
 # An engine run killed mid-batch: the resume must reuse every record the
 # dead run acknowledged.  PYTHONHASHSEED is pinned so both subprocesses
 # generate the identical corpus.

@@ -41,8 +41,13 @@ def _entry(rng: random.Random, i: int) -> tuple[str, str, dict]:
     record = {
         "name": f"p{rng.randint(0, 20)}",  # deliberate duplicates
         "data": data,
-        "elapsed_ms": float(rng.choice([0, 1, 1, 5, rng.randint(0, 50)])),
     }
+    # ~1 in 4 records never measured wall-clock: elapsed_ms stays absent
+    # and sorts as NULL.  Regression: the sqlite keyset cursor used to
+    # compile to a bare row-value comparison, which evaluates to NULL on
+    # these rows and silently dropped them mid-walk.
+    if rng.random() < 0.75:
+        record["elapsed_ms"] = float(rng.choice([0, 1, 1, 5, rng.randint(0, 50)]))
     dim = rng.choice(DIMENSIONS)
     if dim:
         record["exhausted"] = {"dimension": dim}
@@ -75,9 +80,10 @@ def _random_query(rng: random.Random, cursor: str | None = None) -> ResultQuery:
 
 
 def _walk(run, q: ResultQuery) -> list[dict]:
-    """Exhaust a query's pagination; returns every emitted row."""
+    """Exhaust a query's pagination (from ``q.cursor``, if set); returns
+    every emitted row."""
     emitted = []
-    cursor = None
+    cursor = q.cursor
     for _ in range(1000):  # hard stop against a cursor loop
         page = run(
             ResultQuery(
@@ -187,6 +193,89 @@ class TestKeysetStability:
         assert "z-late" in [r["name"] for r in rest]
 
 
+class TestNullSortValues:
+    """NULL elapsed_ms rows paginate like any others (NULLs first
+    ascending / last descending, ties by seq) instead of vanishing."""
+
+    @pytest.mark.parametrize("backend", ["sqlite", "jsonl"])
+    @pytest.mark.parametrize("sort", ["elapsed_ms", "-elapsed_ms"])
+    def test_walk_covers_null_rows_exactly_once(self, tmp_path, backend, sort):
+        cache = ResultCache(tmp_path / backend, backend=backend)
+        _populate(cache, random.Random(37), 40)
+        rows = cache._backend.rows()
+        nulls = [r["seq"] for r in rows if r["elapsed_ms"] is None]
+        assert nulls, "population must include unmeasured records"
+        emitted = _walk(cache.query, ResultQuery(sort=sort, limit=3))
+        seqs = [r["seq"] for r in emitted]
+        assert len(seqs) == len(set(seqs))
+        assert set(seqs) == {r["seq"] for r in rows}
+
+    def test_cursor_landing_on_a_null_row_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        for i in range(4):
+            cache.put(f"n{i}", "params", {"name": f"u{i}", "data": {}})
+        for i in range(4):
+            cache.put(f"m{i}", "params",
+                      {"name": f"m{i}", "data": {}, "elapsed_ms": float(i)})
+        # Ascending sorts NULLs first, so page one ends on a NULL row
+        # and its cursor value is JSON null.
+        page = cache.query(sort="elapsed_ms", limit=2)
+        assert page.next_cursor is not None
+        assert "null" in page.next_cursor
+        rest = _walk(
+            cache.query,
+            ResultQuery(sort="elapsed_ms", limit=2, cursor=page.next_cursor),
+        )
+        assert len(page.rows) + len(rest) == 8
+        first = {r["seq"] for r in page.rows}
+        assert first.isdisjoint(r["seq"] for r in rest)
+
+
+class TestLegacySchemaMigration:
+    def test_not_null_elapsed_ms_store_is_rebuilt_in_place(self, tmp_path):
+        """A store created by the old NOT NULL schema accepts unmeasured
+        records after reopening (the table is rebuilt once on open)."""
+        import sqlite3
+
+        from repro.store.sqlite import STORE_NAME
+
+        path = tmp_path / STORE_NAME
+        # repro-lint: disable=fork-safety -- forging a legacy-schema store file; never crosses a fork
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE results (
+                seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+                schema     INTEGER NOT NULL,
+                key        TEXT    NOT NULL,
+                params     TEXT    NOT NULL,
+                name       TEXT    NOT NULL DEFAULT '',
+                verdict    TEXT    NOT NULL DEFAULT '',
+                accepted   TEXT    NOT NULL DEFAULT '',
+                exhausted  TEXT,
+                elapsed_ms REAL    NOT NULL DEFAULT 0.0,
+                entry      TEXT    NOT NULL,
+                UNIQUE (schema, key)
+            );
+            CREATE INDEX results_by_verdict
+                ON results (schema, verdict, seq);
+            CREATE INDEX results_by_name
+                ON results (schema, name, seq);
+            """
+        )
+        conn.close()
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put("unmeasured", "params", {"name": "u", "data": {}})
+        (row,) = cache._backend.rows()
+        assert row["elapsed_ms"] is None
+        # repro-lint: disable=fork-safety -- single-process schema inspection; never crosses a fork
+        info = sqlite3.connect(path).execute(
+            "PRAGMA table_info(results)"
+        ).fetchall()
+        (elapsed,) = [c for c in info if c[1] == "elapsed_ms"]
+        assert not elapsed[3]  # notnull flag cleared
+
+
 class TestMalformedQueries:
     @pytest.mark.parametrize("backend", ["sqlite", "jsonl"])
     @pytest.mark.parametrize(
@@ -200,6 +289,8 @@ class TestMalformedQueries:
             {"cursor": "[1]"},
             {"cursor": '["x",1]', "sort": "seq"},
             {"cursor": "[1,2]", "sort": "name"},
+            # null cursor values only fit nullable sort fields
+            {"cursor": "[null,2]", "sort": "name"},
         ],
     )
     def test_query_error(self, tmp_path, backend, kwargs):
