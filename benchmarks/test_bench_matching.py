@@ -1,7 +1,7 @@
-"""Planned-vs-indexed-vs-naive matcher micro-benchmark.
+"""Columnar-vs-planned-vs-indexed-vs-naive matcher micro-benchmark.
 
 One ontology per Table 2(a) class is grown into a few-thousand-fact
-instance by a (semi-oblivious, full-first) chase prefix; all three
+instance by a (semi-oblivious, full-first) chase prefix; all four
 matching backends then enumerate *every* body homomorphism of the
 ontology into that instance — the exact workload behind trigger
 discovery, saturation and satisfaction checks.  The gaps measured are:
@@ -13,21 +13,24 @@ discovery, saturation and satisfaction checks.  The gaps measured are:
   per-trigger python interpretation of the generic recursive ``match()``
   (per-atom candidate-pool scoring, mapping-dict copies) replaced by a
   join plan compiled once per body and replayed over interned-term
-  buckets and a flat register array.
+  buckets and a flat register array;
+* **columnar / planned** — the columnar-store win (DESIGN.md §10): the
+  same compiled plans replayed as generated nested int loops over flat
+  tid columns of a :class:`~repro.model.columnar.ColumnarInstance`, no
+  Atom tuples or register boxing on the hot path.
 
 The bench re-checks the differential invariant (identical homomorphism
-counts) on every workload and pins per-class floors: the planned engine
-must beat the generic indexed engine ≥ ``PLANNED_FLOOR``x on the flat
-classes where candidate sets are small and matcher-call overhead
-dominates, must not regress below ``PLANNED_MIN``x on *any* class, and
-the indexed engine must stay ≥ ``INDEXED_FLOOR``x over naive on the
-largest class.  Timings go to ``benchmarks/results/matching.txt``.
+counts) across all four arms on every workload and pins per-class
+floors; a separate untimed pass records each arm's tracemalloc peak so
+representation overhead is tracked next to wall-clock.  Results go to
+``benchmarks/results/matching.txt``.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import tracemalloc
 
 from conftest import write_result
 
@@ -37,32 +40,68 @@ from repro.generators.databases import seed_database
 from repro.matching import engine as indexed_engine
 from repro.matching import naive as naive_engine
 from repro.matching import plans as planned_engine
+from repro.model import ColumnarInstance
 
 LARGEST_CLASS = TABLE2A_CLASSES[-1]["name"]  # E1001-5000/G11-100
 #: Classes where PR 1's indexed engine was nearly flat over naive
 #: (~1.1x): tiny candidate pools, overhead-bound — the compiled plans'
 #: target territory.
 FLAT_CLASSES = ("E1-10/G1-10", "E1001-5000/G1-10")
+#: The big-extent classes where per-row python objects dominate — the
+#: columnar store's target territory (ISSUE 9 acceptance floor).
+COLUMNAR_CLASSES = ("E1001-5000/G1-10", "E1001-5000/G11-100")
 
-INDEXED_FLOOR = 3.0   # indexed / naive on LARGEST_CLASS
-PLANNED_FLOOR = 1.5   # planned / indexed on every FLAT_CLASSES member
-PLANNED_MIN = 1.0     # planned / indexed on every class
+INDEXED_FLOOR = 3.0    # indexed / naive on LARGEST_CLASS
+PLANNED_FLOOR = 1.5    # planned / indexed on every FLAT_CLASSES member
+PLANNED_MIN = 1.0      # planned / indexed on every class
+COLUMNAR_FLOOR = 1.5   # columnar / planned on every COLUMNAR_CLASSES member
+COLUMNAR_MIN = 1.0     # columnar / planned on every class
 
 #: Chase prefix length used to grow each workload instance.
 GROW_STEPS = int(os.environ.get("REPRO_MATCH_STEPS", "3000"))
-REPEATS = 3
+REPEATS = 7
 
 
-def _best_of(repeats, fn):
-    """Best-of-n wall time and the (stable) return value of ``fn``."""
-    best, value = None, None
-    for _ in range(repeats):
+def _time_arms(repeats, fns):
+    """Best-of-n wall time per arm, sampled round-robin.
+
+    Two defences against the noise that made single-shot ratios flake:
+    sub-millisecond workloads are repeated inside each timed sample
+    until the sample is ≥1ms (the tiny corpus classes finish in tens of
+    microseconds, where one call is all timer granularity), and the
+    arms are interleaved per round so a background-load drift hits
+    every arm equally instead of whichever was measured last.  Reported
+    times are always per single call.
+    """
+    inners, best, values = {}, {}, {}
+    for arm, fn in fns.items():
+        fn()  # warm-up: plan compilation must not skew calibration
         t0 = time.perf_counter()
-        value = fn()
-        dt = time.perf_counter() - t0
-        if best is None or dt < best:
-            best = dt
-    return best, value
+        values[arm] = fn()
+        once = time.perf_counter() - t0
+        inners[arm] = max(1, int(1e-3 / max(once, 1e-9)))
+        best[arm] = once
+    for _ in range(repeats):
+        for arm, fn in fns.items():
+            inner = inners[arm]
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            dt = (time.perf_counter() - t0) / inner
+            if dt < best[arm]:
+                best[arm] = dt
+    return best, values
+
+
+def _peak_kib(fn) -> float:
+    """tracemalloc peak (KiB) over one run of ``fn`` (untimed pass)."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
 
 
 def _workloads():
@@ -90,30 +129,57 @@ def _enumerate_all(matcher, sigma, instance) -> int:
 
 def test_bench_matching():
     rows = []
+    mem_rows = []
+    col_speedups = {}
     plan_speedups = {}
     idx_speedups = {}
     for name, sigma, instance in _workloads():
-        t_pln, n_pln = _best_of(
-            REPEATS, lambda: _enumerate_all(planned_engine, sigma, instance)
+        # The columnar conversion happens once, outside timing: chases
+        # under the columnar backend build their store incrementally and
+        # never pay a bulk conversion on the matching path.
+        col = ColumnarInstance(instance)
+        arms = [
+            ("columnar", planned_engine, col),
+            ("planned", planned_engine, instance),
+            ("indexed", indexed_engine, instance),
+            ("naive", naive_engine, instance),
+        ]
+        peaks = {}
+        times, counts = _time_arms(
+            REPEATS,
+            {
+                arm: lambda m=matcher, t=target: _enumerate_all(m, sigma, t)
+                for arm, matcher, target in arms
+            },
         )
-        t_idx, n_idx = _best_of(
-            REPEATS, lambda: _enumerate_all(indexed_engine, sigma, instance)
-        )
-        t_nai, n_nai = _best_of(
-            REPEATS, lambda: _enumerate_all(naive_engine, sigma, instance)
-        )
-        assert n_pln == n_idx == n_nai, f"differential violation on {name}"
-        plan_speedups[name] = t_idx / max(t_pln, 1e-9)
-        idx_speedups[name] = t_nai / max(t_idx, 1e-9)
+        assert len(set(counts.values())) == 1, f"differential violation on {name}"
+        for arm, matcher, target in arms:
+            peaks[arm] = _peak_kib(
+                lambda m=matcher, t=target: _enumerate_all(m, sigma, t)
+            )
+        col_speedups[name] = times["planned"] / max(times["columnar"], 1e-9)
+        plan_speedups[name] = times["indexed"] / max(times["planned"], 1e-9)
+        idx_speedups[name] = times["naive"] / max(times["indexed"], 1e-9)
         rows.append(
-            f"{name:<20} {len(list(sigma)):>4} {len(instance):>6} {n_pln:>6} "
-            f"{t_pln * 1e3:>10.2f} {t_idx * 1e3:>10.2f} {t_nai * 1e3:>9.2f} "
-            f"{plan_speedups[name]:>8.1f}x {idx_speedups[name]:>8.1f}x"
+            f"{name:<20} {len(list(sigma)):>4} {len(instance):>6} "
+            f"{counts['planned']:>6} "
+            f"{times['columnar'] * 1e3:>9.2f} {times['planned'] * 1e3:>10.2f} "
+            f"{times['indexed'] * 1e3:>10.2f} {times['naive'] * 1e3:>9.2f} "
+            f"{col_speedups[name]:>8.1f}x {plan_speedups[name]:>8.1f}x "
+            f"{idx_speedups[name]:>8.1f}x"
+        )
+        mem_rows.append(
+            f"{name:<20} {peaks['columnar']:>12.0f} {peaks['planned']:>11.0f} "
+            f"{peaks['indexed']:>11.0f} {peaks['naive']:>10.0f}"
         )
     header = (
         f"{'class':<20} {'|Σ|':>4} {'|I|':>6} {'homs':>6} "
-        f"{'planned ms':>10} {'indexed ms':>10} {'naive ms':>9} "
-        f"{'pln/idx':>9} {'idx/nai':>9}"
+        f"{'colmnr ms':>9} {'planned ms':>10} {'indexed ms':>10} "
+        f"{'naive ms':>9} {'col/pln':>9} {'pln/idx':>9} {'idx/nai':>9}"
+    )
+    mem_header = (
+        f"{'class':<20} {'columnar KiB':>12} {'planned KiB':>11} "
+        f"{'indexed KiB':>11} {'naive KiB':>10}"
     )
     text = "\n".join(
         [
@@ -124,7 +190,19 @@ def test_bench_matching():
             "-" * len(header),
             *rows,
             "",
-            f"floors: planned ≥ {PLANNED_FLOOR}x indexed on "
+            "tracemalloc peak per arm (one untimed enumeration pass)",
+            "",
+            mem_header,
+            "-" * len(mem_header),
+            *mem_rows,
+            "",
+            f"floors: columnar ≥ {COLUMNAR_FLOOR}x planned on "
+            + ", ".join(
+                f"{c} (measured {col_speedups[c]:.1f}x)" for c in COLUMNAR_CLASSES
+            ),
+            f"        columnar ≥ {COLUMNAR_MIN}x planned on every class "
+            f"(worst {min(col_speedups.values()):.1f}x)",
+            f"        planned ≥ {PLANNED_FLOOR}x indexed on "
             + ", ".join(
                 f"{c} (measured {plan_speedups[c]:.1f}x)" for c in FLAT_CLASSES
             ),
@@ -135,6 +213,16 @@ def test_bench_matching():
         ]
     )
     write_result("matching", text)
+    for cls in COLUMNAR_CLASSES:
+        assert col_speedups[cls] >= COLUMNAR_FLOOR, (
+            f"columnar execution only {col_speedups[cls]:.2f}x faster than "
+            f"the planned engine on {cls}"
+        )
+    for name, speedup in col_speedups.items():
+        assert speedup >= COLUMNAR_MIN, (
+            f"columnar execution regressed to {speedup:.2f}x of the planned "
+            f"engine on {name}"
+        )
     for cls in FLAT_CLASSES:
         assert plan_speedups[cls] >= PLANNED_FLOOR, (
             f"planned engine only {plan_speedups[cls]:.2f}x faster than the "

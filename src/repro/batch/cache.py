@@ -69,6 +69,15 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def _envelope(key: str, params: str, record: dict) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "params": params,
+        "record": record,
+    }
+
+
 def _result_backend(
     directory: pathlib.Path, backend: str, durable: bool
 ) -> SqliteResultBackend | JsonlResultBackend:
@@ -137,14 +146,35 @@ class ResultCache:
         interrupted batch run resume exactly where it stopped, and what
         the crash-injection suite (``tests/test_store_crash.py``) pins.
         """
-        self._backend.put(
-            {
-                "schema": SCHEMA_VERSION,
-                "key": key,
-                "params": params,
-                "record": record,
-            }
+        self._backend.put(_envelope(key, params, record))
+
+    def put_many(self, items: list[tuple[str, str, dict]]) -> None:
+        """Store a batch of ``(key, params, record)`` durably at once.
+
+        Record-for-record equivalent to looping ``put`` — same
+        envelopes, same last-write-wins order — but the backend commits
+        the whole batch behind one transaction (sqlite) or one fsync
+        (jsonl).  This is what the batch engine's drain calls once per
+        completion round instead of once per finished program.
+        """
+        self._backend.put_many(
+            [_envelope(key, params, record) for key, params, record in items]
         )
+
+    def stats_snapshot(self) -> dict:
+        """One JSON-ready view of serving counters *and* backend state."""
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "params_misses": self.stats.params_misses,
+            "hit_rate": self.stats.hit_rate,
+            "loaded": self.stats.loaded,
+            "corrupted": self.stats.corrupted,
+            "stale_schema": self.stats.stale_schema,
+            "imported": self.stats.imported,
+            "entries": len(self),
+            "store": self._backend.stats(),
+        }
 
     # -- the query surface ---------------------------------------------------
 

@@ -26,7 +26,8 @@ incremental evaluation service:
   exception) and is *persisted* so a cached rejection is exactly as
   trustworthy as a fresh one.  SIGINT (or a tripped
   :class:`~repro.budget.Cancellation` token) drains cleanly: finished
-  results are already on disk — the cache flushes per record — pending
+  results are already on disk — the cache flushes every completion
+  round in one batched transaction (``put_many``) — pending
   work is cancelled, and the report says ``interrupted`` so the CLI can
   exit 1; re-running with the same cache resumes where the run stopped.
 
@@ -506,32 +507,40 @@ def _run_pending(
     slots: dict[str, ProgramResult],
     report: BatchReport,
 ) -> None:
-    def finish(key: str, record: dict) -> None:
-        record = dict(record)
-        # The decision layer is persisted into the artifact store, not
-        # into the result record (which must stay stable across warm and
-        # cold runs of the same program).
-        artifacts = record.pop("artifacts", None)
-        if artifacts is not None:
-            report.decisions_preloaded += artifacts.get("preloaded", 0)
-            if store is not None:
-                report.decisions_recorded += store.put(
-                    key, artifacts.get("oracle", [])
-                )
-        record["name"] = pending[key].name
+    def finish_batch(items: list[tuple[str, dict]]) -> None:
+        batch: list[tuple[str, dict]] = []
+        for key, raw in items:
+            record = dict(raw)
+            # The decision layer is persisted into the artifact store,
+            # not into the result record (which must stay stable across
+            # warm and cold runs of the same program).
+            artifacts = record.pop("artifacts", None)
+            if artifacts is not None:
+                report.decisions_preloaded += artifacts.get("preloaded", 0)
+                if store is not None:
+                    report.decisions_recorded += store.put(
+                        key, artifacts.get("oracle", [])
+                    )
+            record["name"] = pending[key].name
+            batch.append((key, record))
+        # One durable write for the whole round: the cache flush comes
+        # BEFORE the report/slots update, so a crash between the two can
+        # claim less than the cache holds but never more.
         if cache is not None:
-            cache.put(key, params, record)
-        slots[key] = _program_result(key, pending[key], record, cached=False)
-        report.computed += 1
+            cache.put_many([(key, params, record) for key, record in batch])
+        for key, record in batch:
+            slots[key] = _program_result(key, pending[key], record, cached=False)
+            report.computed += 1
 
     if config.jobs <= 1:
+        # Sequential runs keep the per-record durability unit: each
+        # program is flushed before the next one starts.
         for key in list(pending):
             if _cancelled(cancellation):
                 report.interrupted = True
                 return
-            finish(
-                key,
-                _evaluate_payload(_payload(key, pending[key], config, store)),
+            finish_batch(
+                [(key, _evaluate_payload(_payload(key, pending[key], config, store)))]
             )
         return
 
@@ -558,8 +567,11 @@ def _run_pending(
                 done, _ = wait(
                     running, timeout=0.1, return_when=FIRST_COMPLETED
                 )
-                for fut in done:
-                    finish(running.pop(fut), fut.result())
+                # Everything that completed this round drains through ONE
+                # batched cache write (put_many) instead of one commit per
+                # program; an interrupt still loses nothing because the
+                # flush happens before the next wait.
+                finish_batch([(running.pop(fut), fut.result()) for fut in done])
                 if _cancelled(cancellation):
                     raise KeyboardInterrupt
         except KeyboardInterrupt:

@@ -42,9 +42,10 @@ from math import factorial
 from ..budget import Budget
 from ..homomorphism.finder import find_homomorphisms
 from ..homomorphism.satisfaction import satisfies_tgd
-from ..matching import body_atom_index, delta_homomorphisms, warm_plans
+from ..matching import body_atom_index, delta_homomorphisms, get_backend, warm_plans
 from ..matching.engine import match_atom
 from ..model.atoms import Atom
+from ..model.columnar import ColumnarInstance
 from ..model.dependencies import EGD, TGD, DependencySet
 from ..model.instances import Instance
 from ..model.terms import Null, NullFactory
@@ -471,8 +472,15 @@ def explore_chase(
 
     # The savepoint backend mutates its working instance in place, so it
     # forks the caller's database exactly once; the copy backend forks
-    # per branch and never touches the root.
-    root = database.copy() if transactional else database
+    # per branch and never touches the root.  Under the columnar backend
+    # the conversion is itself a fork, and branch savepoints/copies then
+    # stay columnar all the way down.
+    if get_backend() == "columnar" and not isinstance(database, ColumnarInstance):
+        root: Instance | ColumnarInstance = ColumnarInstance(database)
+    elif transactional:
+        root = database.copy()
+    else:
+        root = database
     visit(root, frozenset(), 0, initial_candidates(root), [])
 
     capped = stats["capped"]

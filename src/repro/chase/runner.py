@@ -48,10 +48,13 @@ from ..homomorphism.satisfaction import violations
 from ..matching import (
     body_atom_index,
     delta_homomorphisms,
+    delta_row_homomorphisms,
+    get_backend,
     using_backend,
     warm_plans,
 )
 from ..model.atoms import Atom
+from ..model.columnar import ColumnarInstance
 from ..model.dependencies import EGD, TGD, AnyDependency, DependencySet
 from ..model.instances import Instance
 from ..model.terms import GroundTerm, Null, NullFactory, Variable
@@ -104,7 +107,16 @@ class ChaseRunner:
         self.budget = budget if budget is not None else Budget()
         self.engine = engine
         self.check_exhaustive = check_exhaustive
-        self.instance = database.copy() if copy_database else database
+        # Under the columnar backend the working instance is columnar:
+        # conversion happens here (once, at chase start) so every step,
+        # discovery and satisfaction check downstream runs on int columns.
+        eff = engine if engine is not None else get_backend()
+        if eff == "columnar" and not isinstance(database, ColumnarInstance):
+            self.instance: Instance | ColumnarInstance = ColumnarInstance(database)
+        elif copy_database:
+            self.instance = database.copy()
+        else:
+            self.instance = database
         start = max((n.label for n in self.instance.nulls()), default=0) + 1
         self.nulls = NullFactory(start=start)
         self.steps: list[StepOutcome] = []
@@ -151,16 +163,33 @@ class ChaseRunner:
     def _discover_delta(self) -> None:
         """Semi-naive discovery: join the delta-log facts added since the
         last call against the bodies mentioning their predicates."""
-        delta = self.instance.added_since(self._tick)
-        self._tick = self.instance.tick
+        inst = self.instance
+        if isinstance(inst, ColumnarInstance):
+            # Row-handle path: no Atom is materialised for discovery; dead
+            # rows (discarded or merge-rewritten since being logged) are
+            # the liveness filter's analogue of the membership check below.
+            handles = inst.added_rows_since(self._tick)
+            self._tick = inst.tick
+            live_rows = [hd for hd in handles if inst.row_live(hd)]
+            if not live_rows:
+                return
+            self._push_batch(
+                Trigger.make(dep, h)
+                for dep, h in delta_row_homomorphisms(
+                    self._body_index, inst, live_rows
+                )
+            )
+            return
+        delta = inst.added_since(self._tick)
+        self._tick = inst.tick
         if not delta:
             return
-        live = [f for f in delta if f in self.instance]
+        live = [f for f in delta if f in inst]
         if not live:
             return
         batch = [
             Trigger.make(dep, h)
-            for dep, h in delta_homomorphisms(self._body_index, self.instance, live)
+            for dep, h in delta_homomorphisms(self._body_index, inst, live)
         ]
         self._push_batch(batch)
 
@@ -290,9 +319,11 @@ def run_chase(
 
     ``variant`` is one of ``standard``, ``oblivious``, ``semi_oblivious``;
     ``strategy`` resolves the nondeterministic choice among applicable
-    steps; ``engine`` selects the matching backend (``indexed`` or the
-    ``naive`` reference), or inherits the ambient backend when None —
-    ``using_backend("naive")`` around this call is honoured.  ``budget``
+    steps; ``engine`` selects the matching backend (``planned``,
+    ``columnar``, ``indexed`` or the ``naive`` reference), or inherits the
+    ambient backend when None — ``using_backend(...)`` around this call is
+    honoured, and the ``columnar`` backend additionally switches the
+    working instance to the columnar fact store.  ``budget``
     adds fact/wall-clock bounds and cancellation on top of ``max_steps``;
     exhaustion yields ``EXCEEDED`` with ``result.exhausted`` set.  The
     input database is not modified.

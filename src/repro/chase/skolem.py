@@ -19,8 +19,15 @@ from typing import Iterable
 
 from ..budget import Budget, BudgetExhausted
 from ..homomorphism.finder import find_homomorphisms
-from ..matching import body_atom_index, delta_homomorphisms, warm_plans
+from ..matching import (
+    body_atom_index,
+    delta_homomorphisms,
+    delta_row_homomorphisms,
+    get_backend,
+    warm_plans,
+)
 from ..model.atoms import Atom
+from ..model.columnar import ColumnarInstance
 from ..model.dependencies import TGD, DependencySet
 from ..model.instances import Instance
 from ..model.terms import Term, Variable, next_term_id
@@ -134,7 +141,7 @@ def skolemise(
 class SaturationResult:
     """Outcome of the Skolem-chase saturation."""
 
-    instance: Instance
+    instance: Instance | ColumnarInstance
     saturated: bool
     cyclic_term: SkolemTerm | None
     rounds: int
@@ -170,7 +177,10 @@ def saturate(
     fact — exhausts mid-round.
     """
     budget = budget if budget is not None else Budget()
-    instance = database.copy()
+    if get_backend() == "columnar" and not isinstance(database, ColumnarInstance):
+        instance: Instance | ColumnarInstance = ColumnarInstance(database)
+    else:
+        instance = database.copy()
     rules = list(rules)
     body_index = body_atom_index((rule, rule.source.body) for rule in rules)
     # Compile the per-rule join plans once for the whole saturation (a
@@ -186,6 +196,12 @@ def saturate(
                 (rule, h)
                 for rule in rules
                 for h in find_homomorphisms(rule.source.body, instance, limit=None)
+            )
+        elif isinstance(instance, ColumnarInstance):
+            # Saturation only ever adds facts, so every logged row is
+            # live — the handles seed discovery with no Atom built.
+            homs = delta_row_homomorphisms(
+                body_index, instance, instance.added_rows_since(tick)
             )
         else:
             homs = delta_homomorphisms(

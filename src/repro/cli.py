@@ -298,11 +298,19 @@ def cmd_batch_query(args: argparse.Namespace) -> int:
     Exit 0 with rows on stdout; the keyset cursor for the next page (if
     any) goes to stderr so piped output stays clean.
     """
+    import json
+
     from .batch import ResultCache
     from .io import jsonl_dumps
     from .store import QueryError, ResultQuery
 
     cache = ResultCache(args.cache_dir, backend=args.store)
+    if getattr(args, "stats", False):
+        try:
+            print(json.dumps(cache.stats_snapshot(), indent=2, sort_keys=True))
+        finally:
+            cache.close()
+        return 0
     try:
         page = cache.query(
             ResultQuery(
@@ -535,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cursor", metavar="CUR",
                    help="keyset cursor from a previous page's stderr")
     p.add_argument("--format", default="table", choices=["table", "jsonl"])
+    p.add_argument("--stats", action="store_true",
+                   help="print store statistics (row counts, file/WAL "
+                        "sizes, cache hit counters) as JSON and exit")
     p.set_defaults(func=cmd_batch_query)
 
     p = sub.add_parser(

@@ -234,12 +234,14 @@ class SwallowedControlExceptionRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: ``Instance``'s private fact set, indexes, delta log, undo machinery,
-#: and the borrowing accessors only the matching engine may call.
+#: and the borrowing accessors only the matching engine may call — plus
+#: the columnar store's column/term-table privates (DESIGN.md §10).
 _INSTANCE_PRIVATES = {
     "_facts", "_by_predicate", "_by_term", "_by_pos", "_log",
     "_undo", "_sp_stack", "_undo_len", "_log_len",
     "_pred_bucket", "_pos_bucket", "_pos_slots",
     "_index_insert", "_index_remove",
+    "_stores", "_term_of",
 }
 
 
@@ -263,6 +265,7 @@ class InstanceEncapsulationRule(Rule):
     include = ("*src/repro/*.py",)
     exclude = (
         "*repro/model/instances.py",
+        "*repro/model/columnar.py",
         "*repro/matching/engine.py",
         "*repro/matching/naive.py",
         "*repro/matching/plans.py",
@@ -507,4 +510,47 @@ class BareExceptRule(Rule):
                     self.name,
                     "bare 'except:' swallows every exception including "
                     "control flow; name the exception classes",
+                )
+
+
+# ---------------------------------------------------------------------------
+# columnar-boundary (§10)
+# ---------------------------------------------------------------------------
+
+
+@register
+class ColumnarBoundaryRule(Rule):
+    """No ``Atom`` construction inside the plan executor.
+
+    The columnar backend's whole point is that plan execution moves only
+    interned term ids (§10's boundary-materialisation rule): facts become
+    ``Atom`` objects at representation boundaries (parsing, rendering,
+    fingerprints, witness extraction), never on the matching hot path.
+    An ``Atom(...)`` call appearing in ``matching/plans.py`` is a sign a
+    boundary leaked into the executor; if one is genuinely needed (a new
+    boundary helper living in this module), suppress with a justification.
+    """
+
+    name = "columnar-boundary"
+    section = "§10"
+    summary = (
+        "matching/plans.py builds no Atom objects — plan execution stays "
+        "on interned term ids; materialise at boundaries only"
+    )
+    include = ("*src/repro/matching/plans.py",)
+
+    def check(self, mod: ModuleSource) -> Iterator[Finding]:
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Atom"
+            ):
+                yield mod.finding(
+                    node,
+                    self.name,
+                    "Atom(...) constructed inside the plan executor; "
+                    "matching/plans.py must stay on interned term ids "
+                    "(DESIGN.md §10 boundary-materialisation rule)",
                 )

@@ -64,7 +64,7 @@ from typing import Iterable, Iterator, Sequence
 from ..budget import Budget, coerce_budget
 from ..homomorphism.finder import find_homomorphism, find_homomorphisms
 from ..homomorphism.satisfaction import satisfies_instantiated
-from ..matching import warm_plans
+from ..matching import chase_instance, warm_plans
 from ..model.atoms import Atom
 from ..model.dependencies import EGD, TGD, AnyDependency
 from ..model.instances import Instance
@@ -321,9 +321,10 @@ class WitnessEngine:
 
         # The savepoint backend materialises the frozen body once per
         # freeze and scopes every candidate mutation below it; the copy
-        # backend rebuilds ``Instance(K0)`` per candidate (the reference
-        # the differential suite compares against).
-        Kbase = Instance(K0) if self.snapshots == "savepoint" else None
+        # backend rebuilds the K0 instance per candidate (the reference
+        # the differential suite compares against).  chase_instance picks
+        # the active backend's fact representation.
+        Kbase = chase_instance(K0) if self.snapshots == "savepoint" else None
         yield from self._enumerate_h2(
             Kbase, K0, new_atoms, gamma, h1, supply, check_defusal
         )
@@ -449,7 +450,7 @@ class WitnessEngine:
                 K = Kbase
             else:
                 sp = None
-                K = Instance(K0)
+                K = chase_instance(K0)
             try:
                 K.add_all(preimages)
                 # Build J: an overlay on K under a nested savepoint, or a

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..model.atoms import Atom
+from ..model.columnar import ColumnarInstance
 from ..model.instances import Instance
 from ..model.terms import Term
 from . import engine as _engine
@@ -33,33 +34,48 @@ from .engine import (
     match_atom,
     seed_mapping,
 )
+from .plans import delta_row_homomorphisms
 from .plans import warm as _warm
 
 
 def homomorphisms(
     source: Sequence[Atom],
-    target: Instance | Iterable[Atom],
+    target: Instance | ColumnarInstance | Iterable[Atom],
     seed: Mapping[Term, Term] | None = None,
     frozen_nulls: bool = False,
     limit: int | None = None,
 ) -> Iterator[Homomorphism]:
     """Enumerate homomorphisms using the active matching backend."""
     backend = get_backend()
-    if backend == "planned":
+    if backend == "planned" or backend == "columnar":
+        # One dispatcher for both: plans.match picks the int executor for
+        # columnar targets and the object path for everything else, so
+        # plain-Instance consumers keep working under "columnar".
         return _plans.match(source, target, seed, frozen_nulls, limit)
     if backend == "naive":
         return _naive.match(source, target, seed, frozen_nulls, limit)
     return _engine.match(source, target, seed, frozen_nulls, limit)
 
 
+def chase_instance(facts: Iterable[Atom] = ()) -> Instance | ColumnarInstance:
+    """A fresh mutable instance matching the active backend's preferred
+    fact representation: columnar under ``"columnar"``, the object
+    ``Instance`` otherwise.  Chase entry points build their working
+    instances through this so backend selection reaches the model layer."""
+    if get_backend() == "columnar":
+        return ColumnarInstance(facts)
+    return Instance(facts)
+
+
 def warm_plans(
     bodies: Iterable[Sequence[Atom]],
-    target: Instance | Iterable[Atom],
+    target: Instance | ColumnarInstance | Iterable[Atom],
     frozen_nulls: bool = False,
 ) -> int:
-    """Precompile join plans for ``bodies`` if the ``planned`` backend is
-    active; a no-op (returning 0) under the other backends."""
-    if get_backend() != "planned":
+    """Precompile join plans for ``bodies`` if a plan-executing backend
+    (``planned``/``columnar``) is active; a no-op (returning 0) under the
+    reference backends."""
+    if get_backend() not in ("planned", "columnar"):
         return 0
     return _warm(bodies, target, frozen_nulls)
 
@@ -68,7 +84,9 @@ __all__ = [
     "BACKENDS",
     "Homomorphism",
     "body_atom_index",
+    "chase_instance",
     "delta_homomorphisms",
+    "delta_row_homomorphisms",
     "get_backend",
     "homomorphisms",
     "match_atom",

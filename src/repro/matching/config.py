@@ -1,9 +1,13 @@
 """Matching backend selection.
 
-Three interchangeable homomorphism-search backends exist:
+Four interchangeable homomorphism-search backends exist:
 
 * ``"planned"`` (default) — compiled fixed-order join plans replayed from
   a cache, probing term-id-keyed buckets (:mod:`.plans`);
+* ``"columnar"`` — the same compiled plans executed as generated int
+  loops over a :class:`~repro.model.columnar.ColumnarInstance`'s tid
+  columns and row-id sets (DESIGN.md §10); chase entry points build
+  columnar instances under this backend (:func:`..chase_instance`);
 * ``"indexed"`` — dynamic most-constrained-first search over the
   instance's ``(predicate, position, term)`` index, re-interpreted per
   call (:mod:`.engine`);
@@ -22,7 +26,7 @@ import contextlib
 from contextvars import ContextVar
 from typing import Iterator
 
-BACKENDS = ("planned", "indexed", "naive")
+BACKENDS = ("planned", "columnar", "indexed", "naive")
 
 _backend: ContextVar[str] = ContextVar("repro_matching_backend", default="planned")
 

@@ -41,13 +41,24 @@ plan holds **no** reference to any instance — only atom structure, term
 objects and term ids — so the cache never pins instance state.  Term ids
 are process-local (:mod:`repro.model.terms`) and never escape into the
 emitted homomorphisms, which map term objects to term objects.
+
+**Columnar execution (DESIGN.md §10).**  When the target is a
+:class:`~repro.model.columnar.ColumnarInstance` the same compiled plans
+run over the store's int columns instead of atom buckets: each plan
+lazily code-generates one specialised nested-loop generator
+(:func:`_codegen_columnar`) whose registers, probes and checks are all
+raw tids over row-id sets — no ``Atom`` or ``Term`` object is touched
+until a homomorphism is emitted at the boundary.  The object path below
+is retained verbatim for ``Instance`` and ad-hoc targets (and is what
+the reference backends keep running against).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..model.atoms import Atom
+from ..model.columnar import ColumnarInstance
 from ..model.instances import Instance
 from ..model.terms import Constant, Null, Term, Variable
 from .engine import AdHocIndex, Homomorphism
@@ -100,7 +111,7 @@ class _Plan:
     when a result dict is emitted.
     """
 
-    __slots__ = ("steps", "seed_terms", "out_pairs", "nregs")
+    __slots__ = ("steps", "seed_terms", "out_pairs", "nregs", "columnar_fn")
 
     def __init__(
         self,
@@ -109,6 +120,7 @@ class _Plan:
         seed_terms: Sequence[Term],
         frozen_nulls: bool,
     ) -> None:
+        self.columnar_fn: Callable | None = None  # lazy; see _codegen_columnar
         self.seed_terms = tuple(seed_terms)
         reg_of: dict[Term, int] = {t: i for i, t in enumerate(self.seed_terms)}
         out_pairs: list[tuple[Term, int]] = []
@@ -184,11 +196,41 @@ def _estimate(
     return best, -probes
 
 
+def _estimate_columnar(
+    atom: Atom,
+    bound_terms: set[Term],
+    frozen_nulls: bool,
+    inst: ColumnarInstance,
+) -> tuple[float, int]:
+    """:func:`_estimate` over a columnar store's row-id index: extents are
+    live-row counts, rigid cells are row-id set sizes."""
+    store = inst._stores.get((atom.predicate, atom.arity))
+    if store is None:
+        return 0.0, 0
+    extent = store.nlive
+    best = float(extent)
+    probes = 0
+    for pos, s in enumerate(atom.args):
+        flex = _is_flex(s, frozen_nulls)
+        if flex and s not in bound_terms:
+            continue
+        probes += 1
+        cell_map = store.index[pos]
+        if not flex:
+            size = float(len(cell_map.get(s.tid, ())))
+        else:
+            size = extent / len(cell_map) if cell_map else 0.0
+        if size < best:
+            best = size
+    return best, -probes
+
+
 def _order_atoms(
     atoms: Sequence[Atom],
     seeded: set[Term],
     frozen_nulls: bool,
-    idx: Instance | AdHocIndex,
+    idx: Instance | AdHocIndex | ColumnarInstance,
+    estimate: Callable = _estimate,
 ) -> list[int]:
     """Greedy most-constrained-first order, decided once at compile time
     from the statistics of the compiling target's index."""
@@ -198,7 +240,7 @@ def _order_atoms(
     while remaining:
         best_j = min(
             remaining,
-            key=lambda j: (*_estimate(atoms[j], bound, frozen_nulls, idx), j),
+            key=lambda j: (*estimate(atoms[j], bound, frozen_nulls, idx), j),
         )
         remaining.remove(best_j)
         order.append(best_j)
@@ -212,11 +254,123 @@ def _compile(
     atoms: tuple[Atom, ...],
     seeded: set[Term],
     frozen_nulls: bool,
-    idx: Instance | AdHocIndex,
+    idx: Instance | AdHocIndex | ColumnarInstance,
+    estimate: Callable = _estimate,
 ) -> _Plan:
     seed_terms = sorted(seeded, key=lambda t: t.tid)
-    order = _order_atoms(atoms, seeded, frozen_nulls, idx)
+    order = _order_atoms(atoms, seeded, frozen_nulls, idx, estimate)
     return _Plan(atoms, order, seed_terms, frozen_nulls)
+
+
+def _codegen_columnar(plan: _Plan) -> Callable:
+    """Generate the columnar executor for one compiled plan.
+
+    The emitted function has the shape::
+
+        def plan_fn(stores, term_of, r0, ..., rk):  # seeds, as tids
+            s0 = stores.get(('P', 2))            # one store per step
+            if s0 is None: return
+            c0_1 = s0.cols[1]                    # hoisted columns
+            x0_0 = s0.index[0]                   # hoisted probe maps
+            ...
+            b = x0_0.get(17)                     # rigid probe, tid literal
+            if b is None: return
+            p = b                                # smallest cell wins
+            for w0 in p:                         # row ids, all live
+                if c0_1[w0] != r0: continue      # bound check
+                r1 = c0_2[w0]                    # out register write
+                ...
+                yield {k0: term_of[r1], k1: term_of[r3]}
+
+    Everything in the loop nest is an int read, int compare or set
+    iteration; the ``for`` statement captures each pool's iterator at
+    entry, so the scratch names ``p``/``b`` are safely reused per depth.
+    Rigid tids can be burned in as literals because the plan holds the
+    term objects alive (tids are stable for a term's lifetime).
+
+    Emission happens *inside* the generated code: the innermost loop
+    yields the finished homomorphism dict (out terms are burned in as
+    the globals ``k0…``, out tids lifted through ``term_of``), built by
+    one dict-display instruction.  That keeps the per-match cost to one
+    dict build — no intermediate out-tuple, no zip in the caller, and
+    the caller can ``yield from`` the executor wholesale.  Seed entries
+    are NOT in the emitted dict (out terms are never seeded, so the two
+    halves are disjoint); the caller updates them in when present.
+    """
+    steps = plan.steps
+    src: list[str] = []
+    args = ", ".join(
+        ["stores", "term_of"]
+        + [f"r{i}" for i in range(len(plan.seed_terms))]
+    )
+    src.append(f"def plan_fn({args}):")
+    for d, step in enumerate(steps):
+        predicate, arity = step[0], step[1]
+        src.append(f" s{d} = stores.get(({predicate!r}, {arity}))")
+        src.append(f" if s{d} is None:")
+        src.append("  return")
+    for d, step in enumerate(steps):
+        _, _, rigid, bound, checks, outs = step
+        probe_pos = sorted({p for p, _ in rigid} | {p for p, _ in bound})
+        col_pos = sorted(
+            set(probe_pos)
+            | {p for p, _ in checks}
+            | {p0 for _, p0 in checks}
+            | {p for p, _ in outs}
+        )
+        for p in col_pos:
+            src.append(f" c{d}_{p} = s{d}.cols[{p}]")
+        for p in probe_pos:
+            src.append(f" x{d}_{p} = s{d}.index[{p}]")
+    for d, step in enumerate(steps):
+        _, _, rigid, bound, checks, outs = step
+        ind = " " * (d + 1)
+        bail = "return" if d == 0 else "continue"
+        probes = [f"x{d}_{p}.get({t.tid})" for p, t in rigid] + [
+            f"x{d}_{p}.get(r{reg})" for p, reg in bound
+        ]
+        if not probes:
+            pool = f"s{d}.rowmap.values()"
+        elif len(probes) == 1:
+            src.append(f"{ind}p = {probes[0]}")
+            src.append(f"{ind}if p is None:")
+            src.append(f"{ind} {bail}")
+            pool = "p"
+        else:
+            src.append(f"{ind}p = {probes[0]}")
+            src.append(f"{ind}if p is None:")
+            src.append(f"{ind} {bail}")
+            for probe in probes[1:]:
+                src.append(f"{ind}b = {probe}")
+                src.append(f"{ind}if b is None:")
+                src.append(f"{ind} {bail}")
+                src.append(f"{ind}if len(b) < len(p):")
+                src.append(f"{ind} p = b")
+            pool = "p"
+        src.append(f"{ind}for w{d} in {pool}:")
+        body = " " * (d + 2)
+        for p, t in rigid:
+            src.append(f"{body}if c{d}_{p}[w{d}] != {t.tid}:")
+            src.append(f"{body} continue")
+        for p, reg in bound:
+            src.append(f"{body}if c{d}_{p}[w{d}] != r{reg}:")
+            src.append(f"{body} continue")
+        for p, p0 in checks:
+            src.append(f"{body}if c{d}_{p}[w{d}] != c{d}_{p0}[w{d}]:")
+            src.append(f"{body} continue")
+        for p, reg in outs:
+            src.append(f"{body}r{reg} = c{d}_{p}[w{d}]")
+        if d + 1 == len(steps):
+            items = ", ".join(
+                f"k{j}: term_of[r{reg}]"
+                for j, (_, reg) in enumerate(plan.out_pairs)
+            )
+            src.append(f"{body}yield {{{items}}}")
+    ns: dict = {"len": len}
+    for j, (t, _) in enumerate(plan.out_pairs):
+        ns[f"k{j}"] = t
+    exec(compile("\n".join(src), "<columnar-plan>", "exec"), ns)
+    return ns["plan_fn"]
 
 
 def _execute(
@@ -290,7 +444,7 @@ def _execute(
 
 def match(
     source: Sequence[Atom],
-    target: Instance | Iterable[Atom],
+    target: Instance | ColumnarInstance | Iterable[Atom],
     seed: Mapping[Term, Term] | None = None,
     frozen_nulls: bool = False,
     limit: int | None = None,
@@ -300,8 +454,21 @@ def match(
 
     Same contract and same homomorphism *set* as
     :func:`repro.matching.engine.match` / :func:`repro.matching.naive.match`
-    (order may differ).
+    (order may differ).  Columnar targets run the plan's generated int
+    executor; everything else runs the object path below.
     """
+    if isinstance(target, ColumnarInstance):
+        return _match_columnar(tuple(source), target, seed, frozen_nulls, limit)
+    return _match_object(source, target, seed, frozen_nulls, limit)
+
+
+def _match_object(
+    source: Sequence[Atom],
+    target: Instance | Iterable[Atom],
+    seed: Mapping[Term, Term] | None = None,
+    frozen_nulls: bool = False,
+    limit: int | None = None,
+) -> Iterator[Homomorphism]:
     idx = target if isinstance(target, Instance) else AdHocIndex(target)
     base: Homomorphism = dict(seed) if seed else {}
 
@@ -346,9 +513,114 @@ def match(
             return
 
 
+def _match_columnar(
+    atoms: tuple[Atom, ...],
+    inst: ColumnarInstance,
+    seed: Mapping[Term, Term] | None,
+    frozen_nulls: bool,
+    limit: int | None,
+) -> Iterator[Homomorphism]:
+    """The columnar arm of :func:`match`: same plan cache, int executor.
+
+    Terms cross the boundary exactly twice — seed images are lowered to
+    tids going in, and out-register tids are lifted through the
+    instance's ``_term_of`` coming out.
+    """
+    base: Homomorphism = dict(seed) if seed else {}
+    for k, v in base.items():
+        if isinstance(k, Constant) and k is not v:
+            return
+    if not atoms:
+        yield dict(base)
+        return
+
+    seeded = {
+        s
+        for a in atoms
+        for s in a.args
+        if _is_flex(s, frozen_nulls) and s in base
+    }
+    key = (atoms, frozenset(t.tid for t in seeded), frozen_nulls)
+    plan = _plan_cache.get(key)
+    if plan is None:
+        if len(_plan_cache) >= _CACHE_LIMIT:
+            _plan_cache.clear()
+        plan = _compile(atoms, seeded, frozen_nulls, inst, _estimate_columnar)
+        _plan_cache[key] = plan
+    fn = plan.columnar_fn
+    if fn is None:
+        fn = _codegen_columnar(plan)
+        plan.columnar_fn = fn
+
+    seed_tids = [base[t].tid for t in plan.seed_terms]
+    gen = fn(inst._stores, inst._term_of, *seed_tids)
+    if not base and limit is None:
+        # The executor already yields finished homomorphism dicts; the
+        # unseeded, unbounded hot path delegates to it wholesale.
+        yield from gen
+        return
+    count = 0
+    for h in gen:
+        if base:
+            h.update(base)  # disjoint from outs (out terms never seeded)
+        yield h
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def delta_row_homomorphisms(
+    by_pred: Mapping[str, list[tuple[object, Sequence[Atom], Atom]]],
+    target: ColumnarInstance,
+    handles: Iterable[tuple[tuple[str, int], int]],
+) -> Iterator[tuple[object, Homomorphism]]:
+    """Semi-naive discovery over columnar delta-row handles.
+
+    The columnar counterpart of
+    :func:`repro.matching.engine.delta_homomorphisms`: each ``(storekey,
+    row)`` handle from :meth:`ColumnarInstance.added_rows_since` anchors
+    every body atom over its predicate without materialising the fact —
+    the anchor is computed tid-by-tid (variables bind consistently,
+    constants and nulls must match rigidly), then the plan executor runs
+    with the resulting seed.  Same ``(key, h)`` stream as the object
+    version, same duplication caveats; consumers dedupe.
+    """
+    term_of = target._term_of
+    stores = target._stores
+    for skey, row in handles:
+        predicate, arity = skey
+        entries = by_pred.get(predicate)
+        if not entries:
+            continue
+        store = stores[skey]
+        row_tids = [col[row] for col in store.cols]
+        for key, body, atom in entries:
+            if atom.arity != arity:
+                continue
+            seed: Homomorphism = {}
+            ok = True
+            for s, tid in zip(atom.args, row_tids):
+                if isinstance(s, Variable):
+                    bound = seed.get(s)
+                    if bound is None:
+                        seed[s] = term_of[tid]
+                    elif bound.tid != tid:
+                        ok = False
+                        break
+                elif s.tid != tid:
+                    # Rigid anchor: constants and nulls must sit on the
+                    # row exactly (seed_mapping's frozen-null semantics).
+                    ok = False
+                    break
+            if not ok:
+                continue
+            for h in match(body, target, seed=seed, limit=None):
+                yield key, h
+
+
 def warm(
     bodies: Iterable[Sequence[Atom]],
-    target: Instance | Iterable[Atom],
+    target: Instance | ColumnarInstance | Iterable[Atom],
     frozen_nulls: bool = False,
 ) -> int:
     """Precompile the plans a chase over ``bodies`` will need.
@@ -360,7 +632,14 @@ def warm(
     fresh (cached ones are skipped).  Purely an optimisation: a cold
     cache compiles lazily on first use with identical results.
     """
-    idx = target if isinstance(target, Instance) else AdHocIndex(target)
+    estimate = _estimate
+    if isinstance(target, ColumnarInstance):
+        idx: Instance | AdHocIndex | ColumnarInstance = target
+        estimate = _estimate_columnar
+    elif isinstance(target, Instance):
+        idx = target
+    else:
+        idx = AdHocIndex(target)
     compiled = 0
     for body in bodies:
         atoms = tuple(body)
@@ -377,6 +656,6 @@ def warm(
                 continue
             if len(_plan_cache) >= _CACHE_LIMIT:
                 _plan_cache.clear()
-            _plan_cache[key] = _compile(atoms, seeded, frozen_nulls, idx)
+            _plan_cache[key] = _compile(atoms, seeded, frozen_nulls, idx, estimate)
             compiled += 1
     return compiled

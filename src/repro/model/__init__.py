@@ -9,6 +9,7 @@ from .atoms import (
     atoms_terms,
     atoms_variables,
 )
+from .columnar import ColumnarInstance
 from .dependencies import EGD, TGD, AnyDependency, Dependency, DependencySet, dependency_set
 from .instances import (
     InconsistencyError,
@@ -51,6 +52,7 @@ __all__ = [
     "Dependency",
     "DependencySet",
     "dependency_set",
+    "ColumnarInstance",
     "InconsistencyError",
     "Instance",
     "Savepoint",

@@ -1,0 +1,472 @@
+"""The columnar fact store: facts as row indexes over per-position tid
+columns.
+
+:class:`ColumnarInstance` is the ``"columnar"`` matching backend's fact
+representation (DESIGN.md §10).  Where :class:`~.instances.Instance`
+stores a set of :class:`~.atoms.Atom` objects and indexes them three
+ways, this store keeps **no per-fact Python object at all**:
+
+* each ``(predicate, arity)`` pair owns a :class:`_Store` — one flat
+  Python list of interned term ids (``term.tid``) per argument position
+  (the *columns*), a live-row bitmap, and a per-position index mapping
+  ``tid → set of row ids``;
+* a *fact* is a row index into those columns; membership and
+  value-identity go through ``rowmap`` (live tid-tuple → row);
+* the matcher (:mod:`repro.matching.plans`) executes compiled join plans
+  directly over the row-id sets and columns — every probe, check and
+  register write is an int operation, no ``Atom``/``Term`` object is
+  touched on the hot path.
+
+**Row-id lifetime.**  Rows are append-only: ``add`` assigns the next row
+id, ``discard`` only clears the live bit (and removes the row from
+``rowmap``/index — the executor therefore never consults the bitmap;
+every row id reachable through ``rowmap`` or the index is live by
+construction).  Dead rows keep their column data, which is what lets the
+undo log restore a discard in O(arity) and lets :meth:`added_since`
+materialise a rolled-over delta fact after the fact died.  There is no
+compaction: a store's columns only shrink when a transaction rollback
+pops rows added since the savepoint (undo is exactly LIFO, so the popped
+row is always the last one).  Long-lived instances reclaim dead rows the
+same way ``Instance`` reclaims its log — :meth:`compact_log` plus a
+fresh :meth:`copy`.
+
+**Boundary materialisation.**  ``_term_of`` maps every tid ever added to
+its (process-interned, hence alive) term object; ``Atom`` objects are
+built from it only at the representation boundaries — iteration,
+rendering, fingerprints/canonical keys, ``added_since``, witness
+extraction — never inside plan execution.  Fingerprints and canonical
+keys therefore stay tid-free exactly as DESIGN.md §9 demands: the
+boundary hands them ordinary terms, and the metamorphic tid-churn suite
+pins it.
+
+The full :class:`~.instances.Instance` contract is honoured:
+add/discard/merge_terms, the savepoint/rollback/release undo log in
+O(changes), the monotone delta log (with :meth:`added_rows_since`
+returning ``(storekey, row)`` handles the matcher consumes without
+materialising atoms), value-equality ``__eq__``, and the same
+public accessors.  The differential suites drive all four matching
+backends to byte-identical chase decisions over it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .instances import Instance, Savepoint
+from .terms import Constant, GroundTerm, Null, Term
+
+# Undo-log entry kinds (first element of each entry tuple).
+_UNDO_ADD = 0      # (kind, skey, row, created_store)
+_UNDO_DISCARD = 1  # (kind, skey, row)
+
+#: A delta-log / undo-log store key: ``(predicate, arity)``.
+StoreKey = tuple[str, int]
+
+#: A delta-log row handle: ``(storekey, row id)``.
+RowHandle = tuple[StoreKey, int]
+
+
+class _Store:
+    """The columns of one ``(predicate, arity)`` pair.
+
+    ``cols[pos][row]`` is the tid at argument position ``pos`` of row
+    ``row``; ``index[pos][tid]`` is the set of *live* rows holding that
+    tid there; ``rowmap`` maps each live row's full tid-tuple to its row
+    id (doubling as the membership test and the full-extent scan);
+    ``live``/``nlive`` track the bitmap, ``nrows`` the column length.
+    """
+
+    __slots__ = ("arity", "cols", "rowmap", "index", "live", "nlive", "nrows")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.cols: list[list[int]] = [[] for _ in range(arity)]
+        self.rowmap: dict[tuple[int, ...], int] = {}
+        self.index: list[dict[int, set[int]]] = [{} for _ in range(arity)]
+        self.live = bytearray()
+        self.nlive = 0
+        self.nrows = 0
+
+    def row_key(self, row: int) -> tuple[int, ...]:
+        return tuple(col[row] for col in self.cols)
+
+    def copy(self) -> "_Store":
+        out = _Store.__new__(_Store)
+        out.arity = self.arity
+        out.cols = [list(col) for col in self.cols]
+        out.rowmap = dict(self.rowmap)
+        out.index = [
+            {tid: set(rows) for tid, rows in cell.items()} for cell in self.index
+        ]
+        out.live = bytearray(self.live)
+        out.nlive = self.nlive
+        out.nrows = self.nrows
+        return out
+
+
+class ColumnarInstance:
+    """A mutable set of facts stored as tid columns plus row-id indexes."""
+
+    __slots__ = ("_stores", "_term_of", "_log", "_undo", "_sp_stack")
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._stores: dict[StoreKey, _Store] = {}
+        # tid → term object, for boundary materialisation.  Monotone: a
+        # tid is registered on first add and never dropped (the mapping
+        # keeps the term interned, so the tid stays stable for the
+        # instance's whole lifetime).
+        self._term_of: dict[int, Term] = {}
+        # Monotone delta log of (storekey, row) handles.
+        self._log: list[RowHandle] = []
+        self._undo: list[tuple] | None = None
+        self._sp_stack: list[Savepoint] = []
+        for f in facts:
+            self.add(f)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Add a fact; returns True if it was new."""
+        if not fact.is_fact:
+            raise ValueError(f"{fact} contains variables and is not a fact")
+        term_of = self._term_of
+        for t in fact.args:
+            term_of[t.tid] = t
+        return self._add_key(
+            (fact.predicate, len(fact.args)),
+            tuple(t.tid for t in fact.args),
+        )
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; returns how many were new."""
+        return sum(1 for f in facts if self.add(f))
+
+    def _add_key(self, skey: StoreKey, key: tuple[int, ...]) -> bool:
+        """Insert one row by its tid-tuple (terms already registered)."""
+        store = self._stores.get(skey)
+        created = False
+        if store is None:
+            store = _Store(skey[1])
+            self._stores[skey] = store
+            created = True
+        elif key in store.rowmap:
+            return False
+        row = store.nrows
+        index = store.index
+        for pos, tid in enumerate(key):
+            store.cols[pos].append(tid)
+            cell = index[pos].get(tid)
+            if cell is None:
+                index[pos][tid] = {row}
+            else:
+                cell.add(row)
+        store.rowmap[key] = row
+        store.live.append(1)
+        store.nrows = row + 1
+        store.nlive += 1
+        self._log.append((skey, row))
+        if self._undo is not None:
+            self._undo.append((_UNDO_ADD, skey, row, created))
+        return True
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove a fact if present; returns True if it was there."""
+        skey = (fact.predicate, len(fact.args))
+        store = self._stores.get(skey)
+        if store is None:
+            return False
+        key = tuple(t.tid for t in fact.args)
+        row = store.rowmap.get(key)
+        if row is None:
+            return False
+        self._discard_row(skey, store, key, row)
+        return True
+
+    def _discard_row(
+        self, skey: StoreKey, store: _Store, key: tuple[int, ...], row: int
+    ) -> None:
+        del store.rowmap[key]
+        store.live[row] = 0
+        store.nlive -= 1
+        for pos, tid in enumerate(key):
+            cell = store.index[pos][tid]
+            cell.discard(row)
+            if not cell:
+                del store.index[pos][tid]
+        if self._undo is not None:
+            self._undo.append((_UNDO_DISCARD, skey, row))
+
+    def merge_terms(self, old: Null, new: GroundTerm) -> None:
+        """Replace every occurrence of the null ``old`` by ``new`` in place.
+
+        Same contract as :meth:`Instance.merge_terms`: each rewritten row
+        is a discard followed by an add, so it re-enters the delta log.
+        """
+        if old is new:
+            return
+        if not isinstance(old, Null):
+            raise TypeError("only labelled nulls can be merged away")
+        otid, ntid = old.tid, new.tid
+        self._term_of[ntid] = new
+        touched: list[tuple[StoreKey, _Store, tuple[int, ...], int]] = []
+        for skey, store in self._stores.items():
+            rows: set[int] = set()
+            for cell_map in store.index:
+                cell = cell_map.get(otid)
+                if cell:
+                    rows.update(cell)
+            for row in rows:
+                touched.append((skey, store, store.row_key(row), row))
+        for skey, store, key, row in touched:
+            self._discard_row(skey, store, key, row)
+            self._add_key(
+                skey, tuple(ntid if t == otid else t for t in key)
+            )
+
+    # -- savepoints ---------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Open a transaction scope (same contract as ``Instance``)."""
+        if self._undo is None:
+            self._undo = []
+        sp = Savepoint(len(self._undo), len(self._log))
+        self._sp_stack.append(sp)
+        return sp
+
+    def rollback(self, sp: Savepoint) -> None:
+        """Restore the exact state :meth:`savepoint` saw, in O(changes).
+
+        Columns, bitmap, indexes, rowmaps *and* the delta-log tick are
+        restored exactly: adds since the savepoint pop their rows (undo
+        replays in reverse, so the popped row is always the store's last),
+        discards re-mark theirs live.
+        """
+        self._consume(sp)
+        undo = self._undo
+        assert undo is not None
+        stores = self._stores
+        for entry in reversed(undo[sp._undo_len :]):
+            kind, skey, row = entry[0], entry[1], entry[2]
+            store = stores[skey]
+            key = store.row_key(row)
+            if kind == _UNDO_ADD:
+                if store.live[row]:
+                    del store.rowmap[key]
+                    store.nlive -= 1
+                    for pos, tid in enumerate(key):
+                        cell = store.index[pos].get(tid)
+                        if cell is not None:
+                            cell.discard(row)
+                            if not cell:
+                                del store.index[pos][tid]
+                for col in store.cols:
+                    col.pop()
+                store.live.pop()
+                store.nrows -= 1
+                if entry[3]:
+                    # This add created the store; everything added to it
+                    # later was unwound first, so it is empty again.
+                    del stores[skey]
+            else:
+                store.live[row] = 1
+                store.nlive += 1
+                store.rowmap[key] = row
+                for pos, tid in enumerate(key):
+                    store.index[pos].setdefault(tid, set()).add(row)
+        del undo[sp._undo_len :]
+        del self._log[sp._log_len :]
+        if not self._sp_stack:
+            self._undo = None
+
+    def release(self, sp: Savepoint) -> None:
+        """Consume ``sp`` *keeping* the changes made since (commit)."""
+        self._consume(sp)
+        if not self._sp_stack:
+            self._undo = None
+
+    def _consume(self, sp: Savepoint) -> None:
+        if not sp._live or sp not in self._sp_stack:
+            raise ValueError(
+                "savepoint is not active on this instance (already rolled "
+                "back, released, or taken from another instance)"
+            )
+        while self._sp_stack:
+            top = self._sp_stack.pop()
+            top._live = False
+            if top is sp:
+                return
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while at least one savepoint is active."""
+        return bool(self._sp_stack)
+
+    def compact_log(self) -> None:
+        """Drop the delta log; the tick resets to 0 (see ``Instance``)."""
+        if self._sp_stack:
+            raise RuntimeError(
+                "cannot compact the delta log inside a transaction"
+            )
+        self._log.clear()
+
+    # -- delta log ---------------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        """The current position of the delta log (monotonically increasing)."""
+        return len(self._log)
+
+    def added_rows_since(self, tick: int) -> Sequence[RowHandle]:
+        """The ``(storekey, row)`` handles added after log position
+        ``tick``, in add order — the zero-materialisation delta surface
+        the matcher consumes.  Handles of rows discarded in the meantime
+        still appear; filter with :meth:`row_live`."""
+        return self._log[tick:]
+
+    def row_live(self, handle: RowHandle) -> bool:
+        """Is the row behind a delta handle still live?"""
+        skey, row = handle
+        store = self._stores.get(skey)
+        return store is not None and bool(store.live[row])
+
+    def added_since(self, tick: int) -> Sequence[Atom]:
+        """The facts added after log position ``tick``, materialised —
+        the ``Instance``-compatible boundary; hot consumers use
+        :meth:`added_rows_since`.  Discarded facts still appear (dead
+        rows keep their column data); callers re-check membership."""
+        return [self._atom_at(*handle) for handle in self._log[tick:]]
+
+    def _atom_at(self, skey: StoreKey, row: int) -> Atom:
+        store = self._stores[skey]
+        term_of = self._term_of
+        return Atom(skey[0], tuple(term_of[col[row]] for col in store.cols))
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, fact: object) -> bool:
+        if not isinstance(fact, Atom) or not fact.is_fact:
+            return False
+        store = self._stores.get((fact.predicate, len(fact.args)))
+        return store is not None and (
+            tuple(t.tid for t in fact.args) in store.rowmap
+        )
+
+    def __iter__(self) -> Iterator[Atom]:
+        term_of = self._term_of
+        for (pred, _arity), store in self._stores.items():
+            for key in store.rowmap:
+                yield Atom(pred, tuple(term_of[tid] for tid in key))
+
+    def __len__(self) -> int:
+        return sum(store.nlive for store in self._stores.values())
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality on the fact *set* (derived state — indexes,
+        dead rows, log and tick positions — excluded), mirroring
+        ``Instance.__eq__``.  tid-tuples compare columnar instances
+        directly (terms are interned: equal terms share one tid);
+        ``Instance`` and plain ``set``/``frozenset`` operands compare
+        through materialised atoms."""
+        if isinstance(other, ColumnarInstance):
+            mine = {k: s.rowmap.keys() for k, s in self._stores.items() if s.nlive}
+            theirs = {
+                k: s.rowmap.keys() for k, s in other._stores.items() if s.nlive
+            }
+            return mine == theirs
+        if isinstance(other, Instance):
+            return self.facts() == other.facts()
+        if isinstance(other, (set, frozenset)):
+            return self.facts() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        """Unhashable for the same reason ``Instance`` is (mutable value
+        equality); hash the :meth:`frozen` snapshot instead."""
+        raise TypeError(
+            "ColumnarInstance is mutable and unhashable; use frozen()"
+        )
+
+    def __repr__(self) -> str:
+        return f"ColumnarInstance({len(self)} facts)"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(str(f) for f in self)) + "}"
+
+    def facts(self) -> frozenset[Atom]:
+        return frozenset(self)
+
+    def frozen(self) -> frozenset[Atom]:
+        return frozenset(self)
+
+    def copy(self) -> "ColumnarInstance":
+        out = ColumnarInstance()
+        out._stores = {skey: store.copy() for skey, store in self._stores.items()}
+        out._term_of = dict(self._term_of)
+        # The delta log starts empty: ticks are relative to each instance.
+        # Savepoints do not transfer: the copy is its own transaction scope.
+        return out
+
+    def with_predicate(self, predicate: str) -> frozenset[Atom]:
+        """All facts over ``predicate`` (a snapshot, safe to iterate while
+        the instance mutates)."""
+        term_of = self._term_of
+        return frozenset(
+            Atom(predicate, tuple(term_of[tid] for tid in key))
+            for (pred, _arity), store in self._stores.items()
+            if pred == predicate
+            for key in store.rowmap
+        )
+
+    def with_term(self, term: Term) -> frozenset[Atom]:
+        """All facts mentioning ``term`` (a snapshot)."""
+        tid = term.tid
+        term_of = self._term_of
+        out = []
+        for (pred, _arity), store in self._stores.items():
+            rows: set[int] = set()
+            for cell_map in store.index:
+                cell = cell_map.get(tid)
+                if cell:
+                    rows.update(cell)
+            for row in rows:
+                out.append(
+                    Atom(pred, tuple(term_of[t] for t in store.row_key(row)))
+                )
+        return frozenset(out)
+
+    def predicates(self) -> set[str]:
+        return {
+            pred for (pred, _a), store in self._stores.items() if store.nlive
+        }
+
+    def _live_tids(self) -> set[int]:
+        tids: set[int] = set()
+        for store in self._stores.values():
+            for cell_map in store.index:
+                tids.update(cell_map)
+        return tids
+
+    def domain(self) -> set[Term]:
+        """``Dom``: all terms occurring in (live) facts."""
+        term_of = self._term_of
+        return {term_of[tid] for tid in self._live_tids()}
+
+    def nulls(self) -> set[Null]:
+        return {t for t in self.domain() if isinstance(t, Null)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self.domain() if isinstance(t, Constant)}
+
+    @property
+    def is_database(self) -> bool:
+        """True iff only constants appear (the paper's notion of database)."""
+        return not self.nulls()
+
+    def null_free_part(self) -> "ColumnarInstance":
+        """``J↓``: the facts that contain no labelled nulls."""
+        return ColumnarInstance(f for f in self if not f.nulls())
+
+    def apply(self, mapping: Mapping[Term, Term]) -> "ColumnarInstance":
+        """A new columnar instance with the mapping applied to every fact."""
+        return ColumnarInstance(f.apply(mapping) for f in self)

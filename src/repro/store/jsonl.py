@@ -44,12 +44,26 @@ class _AppendLog:
         self._fh = None
 
     def append(self, line: str) -> None:
+        self.append_many([line])
+
+    def append_many(self, lines: list[str]) -> None:
+        """Append a batch of lines with ONE flush and ONE fsync.
+
+        The durability unit widens from the line to the batch: when
+        ``append_many`` returns, every line in it survives SIGKILL; a
+        crash mid-call loses at most the (unacknowledged) batch, and a
+        torn final line is skipped on reload exactly as for ``append``.
+        One fsync per batch instead of one per record is where the
+        batched drain's throughput comes from.
+        """
+        if not lines:
+            return
         if self._fh is None:
             created = not self.path.exists()
             self._fh = self.path.open("a", encoding="utf-8")
             if created and self.durable:
                 self._sync_directory()
-        self._fh.write(line + "\n")
+        self._fh.write("\n".join(lines) + "\n")
         self._fh.flush()
         if self.durable:
             os.fsync(self._fh.fileno())
@@ -128,11 +142,38 @@ class JsonlResultBackend:
         return self._entries.get(key)
 
     def put(self, entry: dict) -> None:
-        self._log.append(jsonl_dumps(entry))
-        key = entry["key"]
-        self._entries[key] = entry
-        self._seq[key] = self._next_seq
-        self._next_seq += 1
+        self.put_many([entry])
+
+    def put_many(self, entries: list[dict]) -> None:
+        """Store a batch of entries behind one flush-and-fsync.
+
+        Equivalent to ``put`` in a loop record for record (same lines,
+        same last-write-wins resolution, same in-memory view) — only the
+        durability unit changes from the record to the batch.
+        """
+        if not entries:
+            return
+        self._log.append_many([jsonl_dumps(e) for e in entries])
+        for entry in entries:
+            key = entry["key"]
+            self._entries[key] = entry
+            self._seq[key] = self._next_seq
+            self._next_seq += 1
+
+    def stats(self) -> dict:
+        """Observable backend state for ``repro batch query --stats``."""
+        try:
+            file_bytes = self.path.stat().st_size
+        except OSError:
+            file_bytes = 0
+        return {
+            "backend": self.name,
+            "tables": {"results": len(self._entries)},
+            "file_bytes": file_bytes,
+            "wal_bytes": None,  # no write-ahead log in the JSONL backend
+            "corrupted": self.corrupted,
+            "stale_schema": self.stale_schema,
+        }
 
     def entries(self) -> list[tuple[int, dict]]:
         """Every live entry as ``(seq, entry)``, in write order."""

@@ -276,24 +276,30 @@ class SqliteResultBackend:
             conn.execute("ROLLBACK")
             raise
 
-    def _insert(self, conn: sqlite3.Connection, entry: dict) -> None:
+    _INSERT_SQL = (
+        "INSERT OR REPLACE INTO results "
+        "(schema, key, params, name, verdict, accepted, exhausted, "
+        " elapsed_ms, entry) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def _insert_row(entry: dict) -> tuple:
+        """One entry as the parameter tuple of :data:`_INSERT_SQL`."""
         row = index_row(0, entry)
-        conn.execute(
-            "INSERT OR REPLACE INTO results "
-            "(schema, key, params, name, verdict, accepted, exhausted, "
-            " elapsed_ms, entry) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                entry.get("schema"),
-                row["key"],
-                row["params"],
-                row["name"],
-                row["verdict"],
-                _encode_accepted(row["accepted"]),
-                row["exhausted"],
-                row["elapsed_ms"],
-                json.dumps(entry, sort_keys=True, separators=(",", ":")),
-            ),
+        return (
+            entry.get("schema"),
+            row["key"],
+            row["params"],
+            row["name"],
+            row["verdict"],
+            _encode_accepted(row["accepted"]),
+            row["exhausted"],
+            row["elapsed_ms"],
+            json.dumps(entry, sort_keys=True, separators=(",", ":")),
         )
+
+    def _insert(self, conn: sqlite3.Connection, entry: dict) -> None:
+        conn.execute(self._INSERT_SQL, self._insert_row(entry))
 
     # -- the backend contract ----------------------------------------------
 
@@ -324,6 +330,54 @@ class SqliteResultBackend:
 
     def put(self, entry: dict) -> None:
         self._insert(self._handle.conn(), entry)
+
+    def put_many(self, entries: list[dict]) -> None:
+        """Store a batch of entries in ONE durable transaction.
+
+        Equivalent to ``put`` in a loop record for record (same rows,
+        same ``INSERT OR REPLACE`` last-write-wins, same seq order from
+        the executemany's input order) — but the write amplification of
+        per-record commits (one WAL sync each) collapses into a single
+        ``BEGIN IMMEDIATE`` … ``COMMIT``.  All-or-nothing: a failure
+        mid-batch rolls every entry back.
+        """
+        if not entries:
+            return
+        conn = self._handle.conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.executemany(
+                self._INSERT_SQL, [self._insert_row(e) for e in entries]
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def stats(self) -> dict:
+        """Observable backend state for ``repro batch query --stats``."""
+        conn = self._handle.conn()
+        tables: dict[str, int] = {}
+        for table in ("results", "artifacts"):
+            (tables[table],) = conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()
+        sizes: dict[str, int] = {}
+        for label, path in (
+            ("file_bytes", self.path),
+            ("wal_bytes", self.path.with_name(self.path.name + "-wal")),
+        ):
+            try:
+                sizes[label] = path.stat().st_size
+            except OSError:
+                sizes[label] = 0
+        return {
+            "backend": self.name,
+            "tables": tables,
+            **sizes,
+            "corrupted": self.corrupted,
+            "stale_schema": self.stale_schema,
+        }
 
     def entries(self) -> list[tuple[int, dict]]:
         """Every live entry as ``(seq, entry)``, in write order."""

@@ -1,13 +1,15 @@
 """Differential tests: every matching backend vs the naive reference.
 
-The indexed engine (``repro.matching.engine``) and the plan-compiled
-engine (``repro.matching.plans``) must both be *observationally
-identical* to the naive reference (``repro.matching.naive``):
+The indexed engine (``repro.matching.engine``), the plan-compiled engine
+(``repro.matching.plans``) and the columnar backend (the same plans
+executing as generated int loops over a ``ColumnarInstance``) must all be
+*observationally identical* to the naive reference
+(``repro.matching.naive``):
 
-* all three enumerate exactly the same homomorphism sets (order may
+* all four enumerate exactly the same homomorphism sets (order may
   differ);
 * a chase run driven by any backend produces the identical
-  ``ChaseResult`` — status, step count, and final instance — for all three
+  ``ChaseResult`` — status, step count, and final instance — for all four
   variants and all strategies, because the runner pushes each discovery
   batch in a canonical order;
 * the semi-naive saturation loop derives exactly what the seed's naive
@@ -35,7 +37,9 @@ from repro.generators.random_deps import random_dependency_set
 from repro.matching import engine as indexed_engine
 from repro.matching import naive as naive_engine
 from repro.matching import plans as planned_engine
+from repro.matching import using_backend
 from repro.model.atoms import Atom
+from repro.model.columnar import ColumnarInstance
 from repro.model.instances import Instance
 from repro.model.terms import Constant, Null
 
@@ -82,6 +86,7 @@ def test_homomorphism_sets_identical_on_random_programs():
     for seed in range(220):
         sigma = random_dependency_set(seed, n_deps=6)
         inst = random_instance(seed * 7 + 1, sigma)
+        col = ColumnarInstance(inst)
         for dep in sigma:
             want = hom_set(naive_engine, dep.body, inst)
             assert hom_set(indexed_engine, dep.body, inst) == want, (
@@ -89,6 +94,9 @@ def test_homomorphism_sets_identical_on_random_programs():
             )
             assert hom_set(planned_engine, dep.body, inst) == want, (
                 f"seed={seed} dep={dep} (planned)"
+            )
+            assert hom_set(planned_engine, dep.body, col) == want, (
+                f"seed={seed} dep={dep} (columnar)"
             )
 
 
@@ -120,6 +128,13 @@ def test_homomorphism_sets_identical_with_seeds_and_frozen_nulls():
                         f"seed={seed} dep={dep} fact={fact} "
                         f"frozen={frozen} (planned)"
                     )
+                    assert hom_set(
+                        planned_engine, dep.body, ColumnarInstance(inst),
+                        seed=partial, frozen_nulls=frozen,
+                    ) == want, (
+                        f"seed={seed} dep={dep} fact={fact} "
+                        f"frozen={frozen} (columnar)"
+                    )
 
 
 def test_homomorphism_sets_identical_on_corpus_bodies():
@@ -127,6 +142,7 @@ def test_homomorphism_sets_identical_on_corpus_bodies():
     assert corpus
     for ont in corpus:
         db = seed_database(ont.sigma)
+        col = ColumnarInstance(db)
         for dep in list(ont.sigma)[:15]:
             want = hom_set(naive_engine, dep.body, db)
             assert hom_set(indexed_engine, dep.body, db) == want, (
@@ -134,6 +150,9 @@ def test_homomorphism_sets_identical_on_corpus_bodies():
             )
             assert hom_set(planned_engine, dep.body, db) == want, (
                 f"{ont.name} dep={dep} (planned)"
+            )
+            assert hom_set(planned_engine, dep.body, col) == want, (
+                f"{ont.name} dep={dep} (columnar)"
             )
 
 
@@ -166,7 +185,7 @@ def test_chase_differential_on_random_programs():
                     db, sigma, variant=variant, strategy=strategy,
                     max_steps=50, engine="naive",
                 )
-                for engine in ("indexed", "planned"):
+                for engine in ("indexed", "planned", "columnar"):
                     r_eng = run_chase(
                         db, sigma, variant=variant, strategy=strategy,
                         max_steps=50, engine=engine,
@@ -189,7 +208,7 @@ def test_chase_differential_all_strategies():
                     db, sigma, variant=variant, strategy=strategy,
                     max_steps=40, engine="naive",
                 )
-                for engine in ("indexed", "planned"):
+                for engine in ("indexed", "planned", "columnar"):
                     r_eng = run_chase(
                         db, sigma, variant=variant, strategy=strategy,
                         max_steps=40, engine=engine,
@@ -210,7 +229,7 @@ def test_chase_differential_on_corpus():
                 db, ont.sigma, variant=variant, strategy="full_first",
                 max_steps=150, engine="naive",
             )
-            for engine in ("indexed", "planned"):
+            for engine in ("indexed", "planned", "columnar"):
                 r_eng = run_chase(
                     db, ont.sigma, variant=variant, strategy="full_first",
                     max_steps=150, engine=engine,
@@ -354,3 +373,59 @@ def test_saturation_differential_oblivious_variant():
         ref = reference_naive_saturate(base, rules, max_facts=1_500, max_rounds=25)
         assert (result.instance.facts(), result.saturated, result.alarmed,
                 result.rounds) == ref, f"seed={seed}"
+
+
+# -- columnar backend ---------------------------------------------------------
+
+
+def test_columnar_saturation_differential():
+    """Saturation under the columnar backend (columnar working instance,
+    row-handle delta rounds) agrees with the naive full-re-enumeration
+    reference round for round."""
+    checked = 0
+    for seed in range(60):
+        sigma = random_dependency_set(seed, n_deps=6, egd_fraction=0.0)
+        if sigma.egds or not len(sigma.tgds):
+            continue
+        rules = skolemise(sigma, "semi_oblivious")
+        base = critical_instance(sigma)
+        with using_backend("columnar"):
+            result = saturate(base, rules, max_facts=2_000, max_rounds=30)
+        assert isinstance(result.instance, ColumnarInstance)
+        ref = reference_naive_saturate(base, rules, max_facts=2_000, max_rounds=30)
+        got = (result.instance.facts(), result.saturated, result.alarmed,
+               result.rounds)
+        assert got == ref, f"seed={seed}"
+        checked += 1
+    assert checked >= 40
+
+
+def test_columnar_ambient_backend_chase():
+    """``using_backend("columnar")`` (no explicit engine=) converts the
+    runner's working instance and still drives byte-identical decisions."""
+    for seed in range(30):
+        sigma = random_dependency_set(seed, n_deps=6)
+        db = random_instance(seed * 13 + 3, sigma, n_facts=8, n_nulls=0)
+        for variant in VARIANTS:
+            r_nai = run_chase(
+                db, sigma, variant=variant, strategy="fifo",
+                max_steps=50, engine="naive",
+            )
+            with using_backend("columnar"):
+                runner = ChaseRunner(db, sigma, variant, "fifo", max_steps=50)
+                assert isinstance(runner.instance, ColumnarInstance)
+                r_col = runner.run()
+            assert_same_result(r_col, r_nai, f"seed={seed} {variant} (columnar)")
+
+
+def test_columnar_chase_exhaustive_oracle():
+    """The drain-time exhaustiveness oracle holds under columnar
+    semi-naive discovery (row handles seed exactly the full sweep)."""
+    for seed in range(20):
+        sigma = random_dependency_set(seed, n_deps=5)
+        db = random_instance(seed * 3 + 11, sigma, n_facts=8, n_nulls=0)
+        for variant in VARIANTS:
+            ChaseRunner(
+                db, sigma, variant, "fifo", max_steps=80,
+                engine="columnar", check_exhaustive=True,
+            ).run()
