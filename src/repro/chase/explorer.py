@@ -157,9 +157,33 @@ def canonical_key(instance: Instance) -> tuple:
             null_facts.append(f)
         else:
             ground.append(f)
-    ground_part = frozenset(ground)
+    return (frozenset(ground), _null_part(instance, null_facts))
+
+
+def _memo_key(instance: Instance) -> tuple:
+    """:func:`canonical_key`, minus ground-atom materialisation when the
+    instance can supply cheaper parts.
+
+    A :class:`ColumnarInstance` hands over its ground facts as cached
+    frozensets of local-id row keys (``memo_parts``) — no ``Atom`` is
+    built for the (dominant) ground part of a visited state, and sibling
+    states share the per-store split through the store version cache.
+    Row-key ground parts only compare within one fork family, which is
+    exactly the memo's scope: every state of one exploration forks from
+    the single converted root.  Other instance types fall back to the
+    public :func:`canonical_key`.
+    """
+    if isinstance(instance, ColumnarInstance):
+        ground_key, null_facts = instance.memo_parts()
+        return (ground_key, _null_part(instance, null_facts))
+    return canonical_key(instance)
+
+
+def _null_part(instance: Instance, null_facts: list[Atom]) -> tuple:
+    """Canonical form of a state's null-mentioning facts (the second
+    component of :func:`canonical_key`); ``()`` when there are none."""
     if not null_facts:
-        return (ground_part, ())
+        return ()
     nulls = sorted(instance.nulls(), key=lambda n: n.label)
     colours = _null_colours(instance)
     by_colour: dict[str, list[Null]] = {}
@@ -189,7 +213,8 @@ def canonical_key(instance: Instance) -> tuple:
             key = tuple(sorted(_fact_key(f, relabel) for f in null_facts))
             if best is None or key < best:
                 best = key
-        return (ground_part, best)
+        assert best is not None
+        return best
 
     # Fallback: order facts by colour-aware shape (ties broken by the
     # concrete fact key, keeping the sort content-determined), then label
@@ -213,10 +238,7 @@ def canonical_key(instance: Instance) -> tuple:
                 sub = next_in_class.get(c, 0)
                 next_in_class[c] = sub + 1
                 relabel[t] = offsets_by_colour[c] + sub
-    return (
-        ground_part,
-        tuple(sorted(_fact_key(f, relabel) for f in null_facts)),
-    )
+    return tuple(sorted(_fact_key(f, relabel) for f in null_facts))
 
 
 def _fact_shape(fact: Atom, colours: dict[Null, str]) -> tuple:
@@ -397,7 +419,7 @@ def explore_chase(
             return
         stats["states"] += 1
         if variant == "standard":
-            key = canonical_key(instance)
+            key = _memo_key(instance)
             if key in memo:
                 return
             memo.add(key)

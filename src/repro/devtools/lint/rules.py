@@ -241,7 +241,7 @@ _INSTANCE_PRIVATES = {
     "_undo", "_sp_stack", "_undo_len", "_log_len",
     "_pred_bucket", "_pos_bucket", "_pos_slots",
     "_index_insert", "_index_remove",
-    "_stores", "_term_of",
+    "_stores", "_terms", "_owned", "_cow",
 }
 
 

@@ -9,10 +9,11 @@ The shared matching engine behind every chase consumer — see DESIGN.md,
   discovery over an instance's delta log;
 * :func:`seed_mapping` — anchor a body atom onto a fact;
 * :func:`get_backend` / :func:`set_backend` / :func:`using_backend` —
-  switch between the ``planned`` compiled plans (default), the
-  ``indexed`` engine, and the ``naive`` reference;
-* :func:`warm_plans` — precompile the ``planned`` backend's join plans
-  for a dependency set's bodies at chase start.
+  switch between the ``columnar`` generated int loops (default), the
+  ``planned`` compiled plans, the ``indexed`` engine, and the ``naive``
+  reference;
+* :func:`warm_plans` — precompile the ``planned``/``columnar`` backends'
+  join plans for a dependency set's bodies at chase start.
 """
 
 from __future__ import annotations

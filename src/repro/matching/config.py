@@ -2,12 +2,15 @@
 
 Four interchangeable homomorphism-search backends exist:
 
-* ``"planned"`` (default) — compiled fixed-order join plans replayed from
-  a cache, probing term-id-keyed buckets (:mod:`.plans`);
-* ``"columnar"`` — the same compiled plans executed as generated int
-  loops over a :class:`~repro.model.columnar.ColumnarInstance`'s tid
-  columns and row-id sets (DESIGN.md §10); chase entry points build
-  columnar instances under this backend (:func:`..chase_instance`);
+* ``"columnar"`` (default) — compiled fixed-order join plans executed as
+  generated int loops over a :class:`~repro.model.columnar.ColumnarInstance`'s
+  typed tid columns and row-id sets, with optional vectorised kernels
+  (DESIGN.md §10–§11); chase entry points build columnar instances under
+  this backend (:func:`..chase_instance`);
+* ``"planned"`` — the same compiled plans replayed over the plain
+  :class:`~repro.model.instance.Instance`, probing term-id-keyed buckets
+  (:mod:`.plans`); the default through PR 9, kept as the first
+  differential reference (pin it back with ``set_backend("planned")``);
 * ``"indexed"`` — dynamic most-constrained-first search over the
   instance's ``(predicate, position, term)`` index, re-interpreted per
   call (:mod:`.engine`);
@@ -28,7 +31,7 @@ from typing import Iterator
 
 BACKENDS = ("planned", "columnar", "indexed", "naive")
 
-_backend: ContextVar[str] = ContextVar("repro_matching_backend", default="planned")
+_backend: ContextVar[str] = ContextVar("repro_matching_backend", default="columnar")
 
 
 def get_backend() -> str:
@@ -40,7 +43,7 @@ def set_backend(name: str) -> None:
     """Set the matching backend for the *current context*.
 
     The setting lives in a :mod:`contextvars` variable: new threads (and
-    contexts copied before the call) start from the ``"planned"`` default
+    contexts copied before the call) start from the ``"columnar"`` default
     and do not observe it.  Use :func:`using_backend` for scoped switches.
     """
     if name not in BACKENDS:

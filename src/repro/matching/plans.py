@@ -42,21 +42,25 @@ objects and term ids — so the cache never pins instance state.  Term ids
 are process-local (:mod:`repro.model.terms`) and never escape into the
 emitted homomorphisms, which map term objects to term objects.
 
-**Columnar execution (DESIGN.md §10).**  When the target is a
+**Columnar execution (DESIGN.md §10/§11).**  When the target is a
 :class:`~repro.model.columnar.ColumnarInstance` the same compiled plans
-run over the store's int columns instead of atom buckets: each plan
-lazily code-generates one specialised nested-loop generator
+run over the store's typed int columns instead of atom buckets: each
+plan lazily code-generates one specialised nested-loop generator
 (:func:`_codegen_columnar`) whose registers, probes and checks are all
-raw tids over row-id sets — no ``Atom`` or ``Term`` object is touched
-until a homomorphism is emitted at the boundary.  The object path below
-is retained verbatim for ``Instance`` and ad-hoc targets (and is what
-the reference backends keep running against).
+family-local term ids — probe-free steps scan rowmap keys directly
+(zero column reads), probed pools filter tombstones against the live
+bitmap and upgrade to the vectorised :mod:`repro.model.kernels` above a
+size threshold, and no ``Atom`` or ``Term`` object is touched until a
+homomorphism is emitted at the boundary.  The object path below is
+retained verbatim for ``Instance`` and ad-hoc targets (and is what the
+reference backends keep running against).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..model import kernels as _kernels
 from ..model.atoms import Atom
 from ..model.columnar import ColumnarInstance
 from ..model.instances import Instance
@@ -203,10 +207,12 @@ def _estimate_columnar(
     inst: ColumnarInstance,
 ) -> tuple[float, int]:
     """:func:`_estimate` over a columnar store's row-id index: extents are
-    live-row counts, rigid cells are row-id set sizes."""
+    live-row counts, rigid cells are candidate-cell sizes (tombstones
+    included — dead rows inflate an estimate but never its correctness)."""
     store = inst._stores.get((atom.predicate, atom.arity))
     if store is None:
         return 0.0, 0
+    local_of = inst._terms.local_of
     extent = store.nlive
     best = float(extent)
     probes = 0
@@ -217,7 +223,8 @@ def _estimate_columnar(
         probes += 1
         cell_map = store.index[pos]
         if not flex:
-            size = float(len(cell_map.get(s.tid, ())))
+            lid = local_of.get(s.tid)
+            size = 0.0 if lid is None else float(len(cell_map.get(lid, ())))
         else:
             size = extent / len(cell_map) if cell_map else 0.0
         if size < best:
@@ -267,40 +274,66 @@ def _codegen_columnar(plan: _Plan) -> Callable:
 
     The emitted function has the shape::
 
-        def plan_fn(stores, term_of, r0, ..., rk):  # seeds, as tids
+        def plan_fn(stores, terms, lof, r0, ..., rk):  # seeds, as lids
             s0 = stores.get(('P', 2))            # one store per step
             if s0 is None: return
-            c0_1 = s0.cols[1]                    # hoisted columns
-            x0_0 = s0.index[0]                   # hoisted probe maps
-            ...
-            b = x0_0.get(17)                     # rigid probe, tid literal
-            if b is None: return
-            p = b                                # smallest cell wins
-            for w0 in p:                         # row ids, all live
-                if c0_1[w0] != r0: continue      # bound check
-                r1 = c0_2[w0]                    # out register write
-                ...
-                yield {k0: term_of[r1], k1: term_of[r3]}
+            q0 = lof.get(17)                     # rigid term → local id
+            if q0 is None: return                # term absent: no match
+            m0 = s0.rowmap                       # probe-free scan source
+            c1_1 = s1.cols[1]                    # hoisted typed columns
+            x1_0 = s1.index[0]                   # hoisted probe maps
+            v1 = s1.live                         # hoisted live bitmap
+            for t0_0, t0_1 in m0:                # keys ARE the lid tuples
+                p = x1_0.get(t0_0)               # bound probe
+                if p is None: continue
+                if len(p) >= _K.MIN_VECTOR_ROWS:     # vectorised kernel
+                    p = _K.filter_rows(p, v1, ((c1_0, t0_0),), ())
+                    for w1 in p:
+                        r2 = c1_1[w1]
+                        yield {k0: terms[t0_0], k1: terms[r2]}
+                else:                            # inline scalar loop
+                    for w1 in p:
+                        if not v1[w1]: continue      # tombstone filter
+                        if c1_0[w1] != t0_0: continue
+                        r2 = c1_1[w1]
+                        yield {k0: terms[t0_0], k1: terms[r2]}
 
-    Everything in the loop nest is an int read, int compare or set
+    Everything in the loop nest is an int read, int compare or buffer
     iteration; the ``for`` statement captures each pool's iterator at
     entry, so the scratch names ``p``/``b`` are safely reused per depth.
-    Rigid tids can be burned in as literals because the plan holds the
-    term objects alive (tids are stable for a term's lifetime).
+
+    Three layout-driven specialisations (DESIGN.md §11):
+
+    * **Probe-free steps iterate rowmap keys**, unpacking the lid tuple
+      straight into loop variables — the keys already hold every column
+      value of a live row, so the full-extent scan (the dominant shape
+      on the flat corpus classes) reads no column and consults no live
+      bit at all.
+    * **Probed steps filter tombstones** (``live`` bit per candidate),
+      and the outermost probed pool upgrades to one
+      :func:`repro.model.kernels.filter_rows` call above
+      ``MIN_VECTOR_ROWS`` — live test and equality checks evaluated as
+      whole-array numpy operations over the ``array('q')`` buffers when
+      the numpy kernels are active (no vector branch is emitted at all
+      under the pure-Python kernels: an inline loop always wins there).
+    * **Rigid terms lower to local ids in the prologue** (plans are
+      cached across instances, so the family-local id cannot be burned
+      in): an absent term means no row can match and the executor
+      returns before touching a store.
 
     Emission happens *inside* the generated code: the innermost loop
     yields the finished homomorphism dict (out terms are burned in as
-    the globals ``k0…``, out tids lifted through ``term_of``), built by
-    one dict-display instruction.  That keeps the per-match cost to one
-    dict build — no intermediate out-tuple, no zip in the caller, and
-    the caller can ``yield from`` the executor wholesale.  Seed entries
-    are NOT in the emitted dict (out terms are never seeded, so the two
-    halves are disjoint); the caller updates them in when present.
+    the globals ``k0…``, out lids lifted through the family's dense
+    ``terms`` list), built by one dict-display instruction.  Seed
+    entries are NOT in the emitted dict (out terms are never seeded, so
+    the two halves are disjoint); the caller updates them in when
+    present.
     """
     steps = plan.steps
+    nsteps = len(steps)
     src: list[str] = []
     args = ", ".join(
-        ["stores", "term_of"]
+        ["stores", "terms", "lof"]
         + [f"r{i}" for i in range(len(plan.seed_terms))]
     )
     src.append(f"def plan_fn({args}):")
@@ -309,8 +342,24 @@ def _codegen_columnar(plan: _Plan) -> Callable:
         src.append(f" s{d} = stores.get(({predicate!r}, {arity}))")
         src.append(f" if s{d} is None:")
         src.append("  return")
+    # Rigid terms: one family-local id lookup per distinct term, hoisted.
+    rigid_name: dict[int, str] = {}
+    for step in steps:
+        for _p, t in step[2]:
+            if t.tid not in rigid_name:
+                name = f"q{len(rigid_name)}"
+                rigid_name[t.tid] = name
+                src.append(f" {name} = lof.get({t.tid})")
+                src.append(f" if {name} is None:")
+                src.append("  return")
+    probe_free = []
     for d, step in enumerate(steps):
         _, _, rigid, bound, checks, outs = step
+        pf = not rigid and not bound
+        probe_free.append(pf)
+        if pf:
+            src.append(f" m{d} = s{d}.rowmap")
+            continue
         probe_pos = sorted({p for p, _ in rigid} | {p for p, _ in bound})
         col_pos = sorted(
             set(probe_pos)
@@ -322,51 +371,105 @@ def _codegen_columnar(plan: _Plan) -> Callable:
             src.append(f" c{d}_{p} = s{d}.cols[{p}]")
         for p in probe_pos:
             src.append(f" x{d}_{p} = s{d}.index[{p}]")
-    for d, step in enumerate(steps):
-        _, _, rigid, bound, checks, outs = step
-        ind = " " * (d + 1)
-        bail = "return" if d == 0 else "continue"
-        probes = [f"x{d}_{p}.get({t.tid})" for p, t in rigid] + [
-            f"x{d}_{p}.get(r{reg})" for p, reg in bound
-        ]
-        if not probes:
-            pool = f"s{d}.rowmap.values()"
-        elif len(probes) == 1:
-            src.append(f"{ind}p = {probes[0]}")
-            src.append(f"{ind}if p is None:")
-            src.append(f"{ind} {bail}")
-            pool = "p"
+        src.append(f" v{d} = s{d}.live")
+
+    # regname[reg] → the expression naming that register's current lid at
+    # the point of use: a seed parameter, an unpacked rowmap-key element,
+    # or an explicit r{reg} written from a column read.
+    regname = {i: f"r{i}" for i in range(len(plan.seed_terms))}
+    vectorise = _kernels.VECTORISED
+
+    def emit_tail(d: int, indent: str) -> None:
+        if d + 1 == nsteps:
+            items = ", ".join(
+                f"k{j}: terms[{regname[reg]}]"
+                for j, (_, reg) in enumerate(plan.out_pairs)
+            )
+            src.append(f"{indent}yield {{{items}}}")
         else:
-            src.append(f"{ind}p = {probes[0]}")
-            src.append(f"{ind}if p is None:")
-            src.append(f"{ind} {bail}")
-            for probe in probes[1:]:
-                src.append(f"{ind}b = {probe}")
-                src.append(f"{ind}if b is None:")
-                src.append(f"{ind} {bail}")
-                src.append(f"{ind}if len(b) < len(p):")
-                src.append(f"{ind} p = b")
-            pool = "p"
-        src.append(f"{ind}for w{d} in {pool}:")
-        body = " " * (d + 2)
+            emit_step(d + 1, indent)
+
+    def emit_scalar_loop(d: int, indent: str, step: tuple) -> None:
+        _, _, rigid, bound, checks, outs = step
+        src.append(f"{indent}for w{d} in p:")
+        body = indent + " "
+        src.append(f"{body}if not v{d}[w{d}]:")
+        src.append(f"{body} continue")
         for p, t in rigid:
-            src.append(f"{body}if c{d}_{p}[w{d}] != {t.tid}:")
+            src.append(f"{body}if c{d}_{p}[w{d}] != {rigid_name[t.tid]}:")
             src.append(f"{body} continue")
         for p, reg in bound:
-            src.append(f"{body}if c{d}_{p}[w{d}] != r{reg}:")
+            src.append(f"{body}if c{d}_{p}[w{d}] != {regname[reg]}:")
             src.append(f"{body} continue")
         for p, p0 in checks:
             src.append(f"{body}if c{d}_{p}[w{d}] != c{d}_{p0}[w{d}]:")
             src.append(f"{body} continue")
         for p, reg in outs:
             src.append(f"{body}r{reg} = c{d}_{p}[w{d}]")
-        if d + 1 == len(steps):
-            items = ", ".join(
-                f"k{j}: term_of[r{reg}]"
-                for j, (_, reg) in enumerate(plan.out_pairs)
+            regname[reg] = f"r{reg}"
+        emit_tail(d, body)
+
+    def emit_step(d: int, indent: str) -> None:
+        step = steps[d]
+        _, arity, rigid, bound, checks, outs = step
+        bail = "return" if d == 0 else "continue"
+        if probe_free[d]:
+            if arity:
+                names = ", ".join(f"t{d}_{p}" for p in range(arity))
+                if arity == 1:
+                    names += ","  # unpack the 1-tuple key
+                src.append(f"{indent}for {names} in m{d}:")
+            else:
+                src.append(f"{indent}for _e{d} in m{d}:")
+            body = indent + " "
+            for p, p0 in checks:
+                src.append(f"{body}if t{d}_{p} != t{d}_{p0}:")
+                src.append(f"{body} continue")
+            for p, reg in outs:
+                regname[reg] = f"t{d}_{p}"
+            emit_tail(d, body)
+            return
+        probes = [f"x{d}_{p}.get({rigid_name[t.tid]})" for p, t in rigid] + [
+            f"x{d}_{p}.get({regname[reg]})" for p, reg in bound
+        ]
+        src.append(f"{indent}p = {probes[0]}")
+        src.append(f"{indent}if p is None:")
+        src.append(f"{indent} {bail}")
+        for probe in probes[1:]:
+            src.append(f"{indent}b = {probe}")
+            src.append(f"{indent}if b is None:")
+            src.append(f"{indent} {bail}")
+            src.append(f"{indent}if len(b) < len(p):")
+            src.append(f"{indent} p = b")
+        if vectorise and d == 0:
+            # Only the outermost pool gets the vectorised branch: inner
+            # pools are small by most-constrained ordering, and a dual
+            # path per depth would double the nest size at each level.
+            eqs = [f"(c{d}_{p}, {rigid_name[t.tid]})" for p, t in rigid] + [
+                f"(c{d}_{p}, {regname[reg]})" for p, reg in bound
+            ]
+            pairs = [f"(c{d}_{p}, c{d}_{p0})" for p, p0 in checks]
+            eqs_src = "(" + ", ".join(eqs) + ("," if len(eqs) == 1 else "") + ")"
+            pairs_src = (
+                "(" + ", ".join(pairs) + ("," if len(pairs) == 1 else "") + ")"
             )
-            src.append(f"{body}yield {{{items}}}")
-    ns: dict = {"len": len}
+            src.append(f"{indent}if len(p) >= _K.MIN_VECTOR_ROWS:")
+            src.append(
+                f"{indent} p = _K.filter_rows(p, v{d}, {eqs_src}, {pairs_src})"
+            )
+            src.append(f"{indent} for w{d} in p:")
+            body = indent + "  "
+            for p, reg in outs:
+                src.append(f"{body}r{reg} = c{d}_{p}[w{d}]")
+                regname[reg] = f"r{reg}"
+            emit_tail(d, body)
+            src.append(f"{indent}else:")
+            emit_scalar_loop(d, indent + " ", step)
+        else:
+            emit_scalar_loop(d, indent, step)
+
+    emit_step(0, " ")
+    ns: dict = {"len": len, "_K": _kernels}
     for j, (t, _) in enumerate(plan.out_pairs):
         ns[f"k{j}"] = t
     exec(compile("\n".join(src), "<columnar-plan>", "exec"), ns)
@@ -523,8 +626,10 @@ def _match_columnar(
     """The columnar arm of :func:`match`: same plan cache, int executor.
 
     Terms cross the boundary exactly twice — seed images are lowered to
-    tids going in, and out-register tids are lifted through the
-    instance's ``_term_of`` coming out.
+    family-local ids going in (``None`` for a term the instance has
+    never seen, which the generated probes and checks reject wholesale),
+    and out-register lids are lifted through the family's dense term
+    list coming out.
     """
     base: Homomorphism = dict(seed) if seed else {}
     for k, v in base.items():
@@ -552,8 +657,10 @@ def _match_columnar(
         fn = _codegen_columnar(plan)
         plan.columnar_fn = fn
 
-    seed_tids = [base[t].tid for t in plan.seed_terms]
-    gen = fn(inst._stores, inst._term_of, *seed_tids)
+    table = inst._terms
+    local_of = table.local_of
+    seed_lids = [local_of.get(base[t].tid) for t in plan.seed_terms]
+    gen = fn(inst._stores, table.terms, local_of, *seed_lids)
     if not base and limit is None:
         # The executor already yields finished homomorphism dicts; the
         # unseeded, unbounded hot path delegates to it wholesale.
@@ -580,12 +687,12 @@ def delta_row_homomorphisms(
     :func:`repro.matching.engine.delta_homomorphisms`: each ``(storekey,
     row)`` handle from :meth:`ColumnarInstance.added_rows_since` anchors
     every body atom over its predicate without materialising the fact —
-    the anchor is computed tid-by-tid (variables bind consistently,
+    the anchor is computed lid-by-lid (variables bind consistently,
     constants and nulls must match rigidly), then the plan executor runs
     with the resulting seed.  Same ``(key, h)`` stream as the object
     version, same duplication caveats; consumers dedupe.
     """
-    term_of = target._term_of
+    terms = target._terms.terms
     stores = target._stores
     for skey, row in handles:
         predicate, arity = skey
@@ -593,23 +700,24 @@ def delta_row_homomorphisms(
         if not entries:
             continue
         store = stores[skey]
-        row_tids = [col[row] for col in store.cols]
+        row_terms = [terms[col[row]] for col in store.cols]
         for key, body, atom in entries:
             if atom.arity != arity:
                 continue
             seed: Homomorphism = {}
             ok = True
-            for s, tid in zip(atom.args, row_tids):
+            for s, rt in zip(atom.args, row_terms):
                 if isinstance(s, Variable):
                     bound = seed.get(s)
                     if bound is None:
-                        seed[s] = term_of[tid]
-                    elif bound.tid != tid:
+                        seed[s] = rt
+                    elif bound is not rt:
                         ok = False
                         break
-                elif s.tid != tid:
+                elif s is not rt:
                     # Rigid anchor: constants and nulls must sit on the
-                    # row exactly (seed_mapping's frozen-null semantics).
+                    # row exactly (seed_mapping's frozen-null semantics;
+                    # terms are interned, so identity is equality).
                     ok = False
                     break
             if not ok:

@@ -1,55 +1,79 @@
-"""The columnar fact store: facts as row indexes over per-position tid
-columns.
+"""The columnar fact store: facts as row indexes over typed tid columns.
 
 :class:`ColumnarInstance` is the ``"columnar"`` matching backend's fact
-representation (DESIGN.md §10).  Where :class:`~.instances.Instance`
-stores a set of :class:`~.atoms.Atom` objects and indexes them three
-ways, this store keeps **no per-fact Python object at all**:
+representation (DESIGN.md §10/§11) — since PR 10 the **default** chase
+substrate.  Where :class:`~.instances.Instance` stores a set of
+:class:`~.atoms.Atom` objects and indexes them three ways, this store
+keeps **no per-fact Python object at all**:
 
 * each ``(predicate, arity)`` pair owns a :class:`_Store` — one flat
-  Python list of interned term ids (``term.tid``) per argument position
-  (the *columns*), a live-row bitmap, and a per-position index mapping
-  ``tid → set of row ids``;
+  ``array('q')`` of *local* term ids per argument position (the
+  *columns*), a live-row bitmap (``bytearray``), and a per-position
+  index mapping ``lid → array('q') of candidate rows``;
 * a *fact* is a row index into those columns; membership and
-  value-identity go through ``rowmap`` (live tid-tuple → row);
+  value-identity go through ``rowmap`` (live lid-tuple → row);
 * the matcher (:mod:`repro.matching.plans`) executes compiled join plans
-  directly over the row-id sets and columns — every probe, check and
-  register write is an int operation, no ``Atom``/``Term`` object is
-  touched on the hot path.
+  directly over the cells and columns — every probe, check and register
+  write is an int operation (vectorised through :mod:`.kernels` above a
+  pool-size threshold), and no ``Atom``/``Term`` object is touched on
+  the hot path.
+
+**Local term ids.**  Terms are interned process-wide with stable
+``tid``\\ s, but those are sparse; every instance *family* (an instance
+plus everything forked from it by :meth:`copy`) shares one
+:class:`_TermTable` mapping each term to a **dense** local id.  Columns,
+cells and rowmap keys hold local ids, so boundary materialisation is one
+list index (``terms[lid]``) instead of a dict probe, and the ids stay
+small.  The table is monotone and append-only — forks share it without
+copying, and a lid, once assigned, is stable for the family's lifetime.
 
 **Row-id lifetime.**  Rows are append-only: ``add`` assigns the next row
-id, ``discard`` only clears the live bit (and removes the row from
-``rowmap``/index — the executor therefore never consults the bitmap;
-every row id reachable through ``rowmap`` or the index is live by
-construction).  Dead rows keep their column data, which is what lets the
-undo log restore a discard in O(arity) and lets :meth:`added_since`
-materialise a rolled-over delta fact after the fact died.  There is no
-compaction: a store's columns only shrink when a transaction rollback
-pops rows added since the savepoint (undo is exactly LIFO, so the popped
-row is always the last one).  Long-lived instances reclaim dead rows the
-same way ``Instance`` reclaims its log — :meth:`compact_log` plus a
-fresh :meth:`copy`.
+id; ``discard`` only clears the live bit and drops the ``rowmap`` entry.
+Index cells are append-only **tombstone** cells: a discarded row stays
+in its cells (the executor and every cell consumer re-check the live
+bitmap), which makes discard/undo O(arity) with no set surgery and keeps
+each cell sorted ascending by construction.  Columns only shrink when a
+transaction rollback pops rows added since the savepoint (undo replays
+LIFO, so the popped row is always both the store's and each of its
+cells' last).  Dead rows keep their column data, which is what lets
+:meth:`added_since` materialise a rolled-over delta fact after the fact
+died.  Tombstones are reclaimed at fork time: :meth:`copy` hands the
+child a compacted rebuild of any store whose dead fraction crossed
+``COMPACT_DEAD_FRACTION``.
 
-**Boundary materialisation.**  ``_term_of`` maps every tid ever added to
-its (process-interned, hence alive) term object; ``Atom`` objects are
-built from it only at the representation boundaries — iteration,
-rendering, fingerprints/canonical keys, ``added_since``, witness
-extraction — never inside plan execution.  Fingerprints and canonical
-keys therefore stay tid-free exactly as DESIGN.md §9 demands: the
-boundary hands them ordinary terms, and the metamorphic tid-churn suite
-pins it.
+**Copy-on-write forks.**  :meth:`copy` does **not** duplicate columns:
+parent and child share the same frozen ``_Store`` objects, and both
+sides drop their ownership marks, so the fork costs O(predicates) — plus
+compaction for tombstone-heavy stores — instead of O(rows).  The first
+mutation of a shared store (add, discard, merge, or a rollback that has
+to pop/revive its rows) un-shares it with one C-level deep copy
+(``array('q')`` columns copy as memcpy); stores the branch never writes
+are never copied.  A sharer **never** mutates a shared buffer in place,
+so a child fork can outlive, precede, or interleave with its parent's
+savepoints and rollbacks.
+
+**Boundary materialisation.**  ``Atom`` objects are built from the term
+table only at the representation boundaries — iteration, rendering,
+fingerprints/canonical keys, ``added_since``, witness extraction —
+never inside plan execution.  Fingerprints and canonical keys therefore
+stay tid-free exactly as DESIGN.md §9 demands.  The explorer's memo
+path uses :meth:`memo_parts` instead: per-store cached splits of the
+live rowmap keys into ground and null-mentioning rows, so memoising a
+visited state does not materialise a ``frozenset[Atom]`` at all.
 
 The full :class:`~.instances.Instance` contract is honoured:
 add/discard/merge_terms, the savepoint/rollback/release undo log in
 O(changes), the monotone delta log (with :meth:`added_rows_since`
 returning ``(storekey, row)`` handles the matcher consumes without
-materialising atoms), value-equality ``__eq__``, and the same
-public accessors.  The differential suites drive all four matching
-backends to byte-identical chase decisions over it.
+materialising atoms), value-equality ``__eq__``, and the same public
+accessors.  The differential suites drive all four matching backends to
+byte-identical chase decisions over it, under both the numpy and the
+pure-Python kernels.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .atoms import Atom
@@ -66,57 +90,164 @@ StoreKey = tuple[str, int]
 #: A delta-log row handle: ``(storekey, row id)``.
 RowHandle = tuple[StoreKey, int]
 
+#: :meth:`ColumnarInstance.copy` compacts a store's tombstones away when
+#: at least this fraction of its rows is dead; lighter tombstone loads
+#: ride along shared (re-checking a dead row costs one bitmap read).
+COMPACT_DEAD_FRACTION = 0.25
+
+
+class _TermTable:
+    """The family-shared dense term registry.
+
+    ``local_of`` maps a process-global ``term.tid`` to the family's
+    local id; ``terms[lid]`` is the interned term object (one list
+    index per boundary materialisation); ``null_lids`` is the set of
+    local ids naming labelled nulls (the memo path's ground/null split).
+    All three are monotone append-only, which is what lets every fork of
+    a family share the one table without copying or synchronising: a
+    lid, once assigned, means the same term to every sharer forever.
+    """
+
+    __slots__ = ("local_of", "terms", "null_lids")
+
+    def __init__(self) -> None:
+        self.local_of: dict[int, int] = {}
+        self.terms: list[Term] = []
+        self.null_lids: set[int] = set()
+
+    def register(self, term: Term) -> int:
+        lid = self.local_of.get(term.tid)
+        if lid is None:
+            lid = len(self.terms)
+            self.local_of[term.tid] = lid
+            self.terms.append(term)
+            if isinstance(term, Null):
+                self.null_lids.add(lid)
+        return lid
+
 
 class _Store:
     """The columns of one ``(predicate, arity)`` pair.
 
-    ``cols[pos][row]`` is the tid at argument position ``pos`` of row
-    ``row``; ``index[pos][tid]`` is the set of *live* rows holding that
-    tid there; ``rowmap`` maps each live row's full tid-tuple to its row
-    id (doubling as the membership test and the full-extent scan);
-    ``live``/``nlive`` track the bitmap, ``nrows`` the column length.
+    ``cols[pos][row]`` is the local term id at argument position ``pos``
+    of row ``row`` (an ``array('q')`` — a typed flat buffer the kernels
+    view zero-copy); ``index[pos][lid]`` is an append-only ``array('q')``
+    of the rows holding that lid there, ascending, **including dead
+    rows** (consumers filter through ``live``); ``rowmap`` maps each
+    live row's full lid-tuple to its row id (doubling as the membership
+    test and the probe-free scan — its keys *are* the column values, so
+    full-extent enumeration never reads a column); ``live``/``nlive``
+    track the bitmap, ``nrows`` the column length.  ``version`` bumps on
+    every mutation and keys the :meth:`split_keys` memo cache.
     """
 
-    __slots__ = ("arity", "cols", "rowmap", "index", "live", "nlive", "nrows")
+    __slots__ = (
+        "arity", "cols", "rowmap", "index", "live",
+        "nlive", "nrows", "version", "_split",
+    )
 
     def __init__(self, arity: int) -> None:
         self.arity = arity
-        self.cols: list[list[int]] = [[] for _ in range(arity)]
+        self.cols: list[array] = [array("q") for _ in range(arity)]
         self.rowmap: dict[tuple[int, ...], int] = {}
-        self.index: list[dict[int, set[int]]] = [{} for _ in range(arity)]
+        self.index: list[dict[int, array]] = [{} for _ in range(arity)]
         self.live = bytearray()
         self.nlive = 0
         self.nrows = 0
+        self.version = 0
+        self._split: tuple | None = None
 
     def row_key(self, row: int) -> tuple[int, ...]:
         return tuple(col[row] for col in self.cols)
 
     def copy(self) -> "_Store":
+        """A deep, exclusively-owned duplicate (the un-share step of a
+        copy-on-write fork).  Every copy is C-level: ``array('q')`` and
+        ``bytearray`` duplicate as memcpy, dict/cell copies loop in C."""
         out = _Store.__new__(_Store)
         out.arity = self.arity
-        out.cols = [list(col) for col in self.cols]
+        out.cols = [array("q", col) for col in self.cols]
         out.rowmap = dict(self.rowmap)
         out.index = [
-            {tid: set(rows) for tid, rows in cell.items()} for cell in self.index
+            {lid: array("q", cell) for lid, cell in cell_map.items()}
+            for cell_map in self.index
         ]
         out.live = bytearray(self.live)
         out.nlive = self.nlive
         out.nrows = self.nrows
+        out.version = 0
+        out._split = None
         return out
+
+    def compacted(self) -> "_Store":
+        """A rebuilt store holding only the live rows, renumbered densely
+        in row order.  Only safe for a fresh fork: row ids change, so the
+        owner must have no undo entries or delta handles into this store."""
+        out = _Store(self.arity)
+        keep = [row for row in range(self.nrows) if self.live[row]]
+        out.cols = [array("q", map(col.__getitem__, keep)) for col in self.cols]
+        n = len(keep)
+        out.live = bytearray(b"\x01" * n)
+        out.nlive = n
+        out.nrows = n
+        rowmap = out.rowmap
+        index = out.index
+        cols = out.cols
+        for new_row in range(n):
+            key = tuple(col[new_row] for col in cols)
+            rowmap[key] = new_row
+            for pos, lid in enumerate(key):
+                cell = index[pos].get(lid)
+                if cell is None:
+                    index[pos][lid] = array("q", (new_row,))
+                else:
+                    cell.append(new_row)
+        return out
+
+    def split_keys(self, null_lids: set[int]) -> tuple[frozenset, tuple]:
+        """The live rowmap keys split into (ground frozenset, null-row
+        tuple), cached per :attr:`version`.
+
+        This is the explorer memo path's cached input: across sibling
+        branch states only the stepped store's version moves, so the
+        untouched stores answer from cache.  Monotone ``null_lids``
+        growth cannot stale the cache — a row can only mention a null
+        registered before the row was added, and adding the row bumped
+        the version.
+        """
+        cached = self._split
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        ground = []
+        with_nulls = []
+        if null_lids:
+            isdisjoint = null_lids.isdisjoint
+            for key in self.rowmap:
+                if isdisjoint(key):
+                    ground.append(key)
+                else:
+                    with_nulls.append(key)
+        else:
+            ground = list(self.rowmap)
+        result = (frozenset(ground), tuple(with_nulls))
+        self._split = (self.version, *result)
+        return result
 
 
 class ColumnarInstance:
-    """A mutable set of facts stored as tid columns plus row-id indexes."""
+    """A mutable set of facts stored as lid columns plus row-id indexes."""
 
-    __slots__ = ("_stores", "_term_of", "_log", "_undo", "_sp_stack")
+    __slots__ = ("_stores", "_terms", "_owned", "_cow", "_log", "_undo", "_sp_stack")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._stores: dict[StoreKey, _Store] = {}
-        # tid → term object, for boundary materialisation.  Monotone: a
-        # tid is registered on first add and never dropped (the mapping
-        # keeps the term interned, so the tid stays stable for the
-        # instance's whole lifetime).
-        self._term_of: dict[int, Term] = {}
+        self._terms = _TermTable()
+        # Copy-on-write state: after a fork both sides set ``_cow`` and
+        # clear ``_owned`` — a store not in ``_owned`` may be shared with
+        # another instance and must be un-shared (deep-copied) before its
+        # first mutation.  ``_owned`` is relative to the *latest* fork.
+        self._owned: set[StoreKey] = set()
+        self._cow = False
         # Monotone delta log of (storekey, row) handles.
         self._log: list[RowHandle] = []
         self._undo: list[tuple] | None = None
@@ -124,18 +255,27 @@ class ColumnarInstance:
         for f in facts:
             self.add(f)
 
+    # -- copy-on-write ------------------------------------------------------
+
+    def _writable(self, skey: StoreKey) -> _Store:
+        """The store for ``skey``, un-shared if a fork may still see it."""
+        store = self._stores[skey]
+        if self._cow and skey not in self._owned:
+            store = store.copy()
+            self._stores[skey] = store
+            self._owned.add(skey)
+        return store
+
     # -- mutation ---------------------------------------------------------
 
     def add(self, fact: Atom) -> bool:
         """Add a fact; returns True if it was new."""
         if not fact.is_fact:
             raise ValueError(f"{fact} contains variables and is not a fact")
-        term_of = self._term_of
-        for t in fact.args:
-            term_of[t.tid] = t
+        register = self._terms.register
         return self._add_key(
             (fact.predicate, len(fact.args)),
-            tuple(t.tid for t in fact.args),
+            tuple(register(t) for t in fact.args),
         )
 
     def add_all(self, facts: Iterable[Atom]) -> int:
@@ -143,28 +283,33 @@ class ColumnarInstance:
         return sum(1 for f in facts if self.add(f))
 
     def _add_key(self, skey: StoreKey, key: tuple[int, ...]) -> bool:
-        """Insert one row by its tid-tuple (terms already registered)."""
+        """Insert one row by its lid-tuple (terms already registered)."""
         store = self._stores.get(skey)
         created = False
         if store is None:
             store = _Store(skey[1])
             self._stores[skey] = store
+            if self._cow:
+                self._owned.add(skey)  # brand new: nobody else holds it
             created = True
         elif key in store.rowmap:
             return False
+        else:
+            store = self._writable(skey)
         row = store.nrows
         index = store.index
-        for pos, tid in enumerate(key):
-            store.cols[pos].append(tid)
-            cell = index[pos].get(tid)
+        for pos, lid in enumerate(key):
+            store.cols[pos].append(lid)
+            cell = index[pos].get(lid)
             if cell is None:
-                index[pos][tid] = {row}
+                index[pos][lid] = array("q", (row,))
             else:
-                cell.add(row)
+                cell.append(row)
         store.rowmap[key] = row
         store.live.append(1)
         store.nrows = row + 1
         store.nlive += 1
+        store.version += 1
         self._log.append((skey, row))
         if self._undo is not None:
             self._undo.append((_UNDO_ADD, skey, row, created))
@@ -176,24 +321,27 @@ class ColumnarInstance:
         store = self._stores.get(skey)
         if store is None:
             return False
-        key = tuple(t.tid for t in fact.args)
-        row = store.rowmap.get(key)
-        if row is None:
+        local_of = self._terms.local_of
+        lids = []
+        for t in fact.args:
+            lid = local_of.get(t.tid)
+            if lid is None:
+                return False  # term never entered this family
+            lids.append(lid)
+        key = tuple(lids)
+        if key not in store.rowmap:
             return False
-        self._discard_row(skey, store, key, row)
+        self._discard_key(skey, key)
         return True
 
-    def _discard_row(
-        self, skey: StoreKey, store: _Store, key: tuple[int, ...], row: int
-    ) -> None:
-        del store.rowmap[key]
+    def _discard_key(self, skey: StoreKey, key: tuple[int, ...]) -> None:
+        """Tombstone one live row: clear the bit, drop the rowmap entry.
+        Index cells keep the row (consumers filter through ``live``)."""
+        store = self._writable(skey)
+        row = store.rowmap.pop(key)
         store.live[row] = 0
         store.nlive -= 1
-        for pos, tid in enumerate(key):
-            cell = store.index[pos][tid]
-            cell.discard(row)
-            if not cell:
-                del store.index[pos][tid]
+        store.version += 1
         if self._undo is not None:
             self._undo.append((_UNDO_DISCARD, skey, row))
 
@@ -207,21 +355,25 @@ class ColumnarInstance:
             return
         if not isinstance(old, Null):
             raise TypeError("only labelled nulls can be merged away")
-        otid, ntid = old.tid, new.tid
-        self._term_of[ntid] = new
-        touched: list[tuple[StoreKey, _Store, tuple[int, ...], int]] = []
+        olid = self._terms.local_of.get(old.tid)
+        if olid is None:
+            self._terms.register(new)
+            return
+        nlid = self._terms.register(new)
+        touched: list[tuple[StoreKey, tuple[int, ...]]] = []
         for skey, store in self._stores.items():
+            live = store.live
             rows: set[int] = set()
             for cell_map in store.index:
-                cell = cell_map.get(otid)
+                cell = cell_map.get(olid)
                 if cell:
-                    rows.update(cell)
+                    rows.update(r for r in cell if live[r])
             for row in rows:
-                touched.append((skey, store, store.row_key(row), row))
-        for skey, store, key, row in touched:
-            self._discard_row(skey, store, key, row)
+                touched.append((skey, store.row_key(row)))
+        for skey, key in touched:
+            self._discard_key(skey, key)
             self._add_key(
-                skey, tuple(ntid if t == otid else t for t in key)
+                skey, tuple(nlid if lid == olid else lid for lid in key)
             )
 
     # -- savepoints ---------------------------------------------------------
@@ -239,43 +391,45 @@ class ColumnarInstance:
 
         Columns, bitmap, indexes, rowmaps *and* the delta-log tick are
         restored exactly: adds since the savepoint pop their rows (undo
-        replays in reverse, so the popped row is always the store's last),
-        discards re-mark theirs live.
+        replays in reverse, so the popped row is always both the store's
+        and each of its cells' last), discards re-mark theirs live.  A
+        fork taken since the savepoint survives untouched: every store it
+        shares is un-shared here before its rows are popped or revived.
         """
         self._consume(sp)
         undo = self._undo
         assert undo is not None
         stores = self._stores
-        for entry in reversed(undo[sp._undo_len :]):
+        for entry in reversed(undo[sp._undo_len:]):
             kind, skey, row = entry[0], entry[1], entry[2]
-            store = stores[skey]
-            key = store.row_key(row)
+            store = self._writable(skey)
             if kind == _UNDO_ADD:
+                key = store.row_key(row)
                 if store.live[row]:
                     del store.rowmap[key]
                     store.nlive -= 1
-                    for pos, tid in enumerate(key):
-                        cell = store.index[pos].get(tid)
-                        if cell is not None:
-                            cell.discard(row)
-                            if not cell:
-                                del store.index[pos][tid]
+                for pos, lid in enumerate(key):
+                    cell = store.index[pos][lid]
+                    cell.pop()
+                    if not cell:
+                        del store.index[pos][lid]
                 for col in store.cols:
                     col.pop()
                 store.live.pop()
                 store.nrows -= 1
+                store.version += 1
                 if entry[3]:
                     # This add created the store; everything added to it
                     # later was unwound first, so it is empty again.
                     del stores[skey]
+                    self._owned.discard(skey)
             else:
                 store.live[row] = 1
                 store.nlive += 1
-                store.rowmap[key] = row
-                for pos, tid in enumerate(key):
-                    store.index[pos].setdefault(tid, set()).add(row)
-        del undo[sp._undo_len :]
-        del self._log[sp._log_len :]
+                store.rowmap[store.row_key(row)] = row
+                store.version += 1
+        del undo[sp._undo_len:]
+        del self._log[sp._log_len:]
         if not self._sp_stack:
             self._undo = None
 
@@ -339,8 +493,8 @@ class ColumnarInstance:
 
     def _atom_at(self, skey: StoreKey, row: int) -> Atom:
         store = self._stores[skey]
-        term_of = self._term_of
-        return Atom(skey[0], tuple(term_of[col[row]] for col in store.cols))
+        terms = self._terms.terms
+        return Atom(skey[0], tuple(terms[col[row]] for col in store.cols))
 
     # -- queries ------------------------------------------------------------
 
@@ -348,32 +502,46 @@ class ColumnarInstance:
         if not isinstance(fact, Atom) or not fact.is_fact:
             return False
         store = self._stores.get((fact.predicate, len(fact.args)))
-        return store is not None and (
-            tuple(t.tid for t in fact.args) in store.rowmap
-        )
+        if store is None:
+            return False
+        local_of = self._terms.local_of
+        lids = []
+        for t in fact.args:
+            lid = local_of.get(t.tid)
+            if lid is None:
+                return False
+            lids.append(lid)
+        return tuple(lids) in store.rowmap
 
     def __iter__(self) -> Iterator[Atom]:
-        term_of = self._term_of
+        terms = self._terms.terms
         for (pred, _arity), store in self._stores.items():
             for key in store.rowmap:
-                yield Atom(pred, tuple(term_of[tid] for tid in key))
+                yield Atom(pred, tuple(terms[lid] for lid in key))
 
     def __len__(self) -> int:
         return sum(store.nlive for store in self._stores.values())
 
     def __eq__(self, other: object) -> bool:
         """Value equality on the fact *set* (derived state — indexes,
-        dead rows, log and tick positions — excluded), mirroring
-        ``Instance.__eq__``.  tid-tuples compare columnar instances
-        directly (terms are interned: equal terms share one tid);
+        dead rows, log and tick positions, sharing marks — excluded),
+        mirroring ``Instance.__eq__``.  Within one fork family local ids
+        are bijective with terms, so two related columnar instances
+        compare by raw rowmap keys; unrelated columnar instances,
         ``Instance`` and plain ``set``/``frozenset`` operands compare
         through materialised atoms."""
         if isinstance(other, ColumnarInstance):
-            mine = {k: s.rowmap.keys() for k, s in self._stores.items() if s.nlive}
-            theirs = {
-                k: s.rowmap.keys() for k, s in other._stores.items() if s.nlive
-            }
-            return mine == theirs
+            if self._terms is other._terms:
+                mine = {
+                    k: s.rowmap.keys()
+                    for k, s in self._stores.items() if s.nlive
+                }
+                theirs = {
+                    k: s.rowmap.keys()
+                    for k, s in other._stores.items() if s.nlive
+                }
+                return mine == theirs
+            return self.facts() == other.facts()
         if isinstance(other, Instance):
             return self.facts() == other.facts()
         if isinstance(other, (set, frozenset)):
@@ -399,20 +567,87 @@ class ColumnarInstance:
     def frozen(self) -> frozenset[Atom]:
         return frozenset(self)
 
-    def copy(self) -> "ColumnarInstance":
+    def copy(self, *, cow: bool = True) -> "ColumnarInstance":
+        """An O(predicates + changes) copy-on-write fork.
+
+        Parent and child share the term table and every store; both drop
+        their ownership marks, so whichever side mutates a store first
+        pays one deep store copy and the other side keeps the original.
+        Stores whose dead-row fraction reached ``COMPACT_DEAD_FRACTION``
+        are handed to the child as compacted rebuilds instead (the
+        satellite fix for tombstone snowballing across long-lived
+        forks): the child has no delta handles or undo entries yet, so
+        renumbering its rows is safe, while the parent — which may be
+        mid-transaction — keeps its row ids.
+
+        The child's delta log starts empty (ticks are relative to each
+        instance) and savepoints do not transfer: the fork is its own
+        transaction scope.
+
+        ``cow=False`` deep-copies every store up front — the eager
+        PR 9 fork behaviour, kept as the fork microbench's reference arm
+        and for callers that want fully detached buffers immediately.
+        """
         out = ColumnarInstance()
-        out._stores = {skey: store.copy() for skey, store in self._stores.items()}
-        out._term_of = dict(self._term_of)
-        # The delta log starts empty: ticks are relative to each instance.
-        # Savepoints do not transfer: the copy is its own transaction scope.
+        out._terms = self._terms
+        child_stores: dict[StoreKey, _Store] = {}
+        owned: set[StoreKey] = set()
+        for skey, store in self._stores.items():
+            dead = store.nrows - store.nlive
+            if dead and dead >= COMPACT_DEAD_FRACTION * store.nrows:
+                child_stores[skey] = store.compacted()
+                owned.add(skey)
+            elif cow:
+                child_stores[skey] = store
+            else:
+                child_stores[skey] = store.copy()
+                owned.add(skey)
+        out._stores = child_stores
+        out._owned = owned
+        if cow:
+            out._cow = True
+            self._cow = True
+            self._owned = set()
         return out
+
+    def memo_parts(self) -> tuple[frozenset, list[Atom]]:
+        """The explorer memo path's cached ``canonical_key`` inputs.
+
+        Returns ``(ground_key, null_facts)``: ``ground_key`` is a
+        frozenset of ``(storekey, frozenset-of-lid-tuples)`` pairs over
+        the live null-free rows (no ``Atom`` is materialised — the
+        lid-tuples already exist as rowmap keys, and the per-store split
+        is cached across sibling states by ``_Store.split_keys``), and
+        ``null_facts`` are the few null-mentioning facts, materialised
+        for the colour-refinement canonicaliser.  Local ids are only
+        meaningful within one fork family — two instances' ground keys
+        compare correctly iff they share ``_terms``, which every state
+        of one exploration does.  Never persist these keys (§9).
+        """
+        null_lids = self._terms.null_lids
+        terms = self._terms.terms
+        ground = []
+        null_facts: list[Atom] = []
+        for skey, store in self._stores.items():
+            if not store.nlive:
+                continue
+            g, null_keys = store.split_keys(null_lids)
+            if g:
+                ground.append((skey, g))
+            if null_keys:
+                pred = skey[0]
+                null_facts.extend(
+                    Atom(pred, tuple(terms[lid] for lid in key))
+                    for key in null_keys
+                )
+        return frozenset(ground), null_facts
 
     def with_predicate(self, predicate: str) -> frozenset[Atom]:
         """All facts over ``predicate`` (a snapshot, safe to iterate while
         the instance mutates)."""
-        term_of = self._term_of
+        terms = self._terms.terms
         return frozenset(
-            Atom(predicate, tuple(term_of[tid] for tid in key))
+            Atom(predicate, tuple(terms[lid] for lid in key))
             for (pred, _arity), store in self._stores.items()
             if pred == predicate
             for key in store.rowmap
@@ -420,18 +655,21 @@ class ColumnarInstance:
 
     def with_term(self, term: Term) -> frozenset[Atom]:
         """All facts mentioning ``term`` (a snapshot)."""
-        tid = term.tid
-        term_of = self._term_of
+        lid = self._terms.local_of.get(term.tid)
+        if lid is None:
+            return frozenset()
+        terms = self._terms.terms
         out = []
         for (pred, _arity), store in self._stores.items():
+            live = store.live
             rows: set[int] = set()
             for cell_map in store.index:
-                cell = cell_map.get(tid)
+                cell = cell_map.get(lid)
                 if cell:
-                    rows.update(cell)
+                    rows.update(r for r in cell if live[r])
             for row in rows:
                 out.append(
-                    Atom(pred, tuple(term_of[t] for t in store.row_key(row)))
+                    Atom(pred, tuple(terms[t] for t in store.row_key(row)))
                 )
         return frozenset(out)
 
@@ -440,20 +678,26 @@ class ColumnarInstance:
             pred for (pred, _a), store in self._stores.items() if store.nlive
         }
 
-    def _live_tids(self) -> set[int]:
-        tids: set[int] = set()
+    def _live_lids(self) -> set[int]:
+        """Local ids occurring in live rows (via rowmap keys: live rows
+        only by construction, no tombstone filtering needed)."""
+        lids: set[int] = set()
         for store in self._stores.values():
-            for cell_map in store.index:
-                tids.update(cell_map)
-        return tids
+            for key in store.rowmap:
+                lids.update(key)
+        return lids
 
     def domain(self) -> set[Term]:
         """``Dom``: all terms occurring in (live) facts."""
-        term_of = self._term_of
-        return {term_of[tid] for tid in self._live_tids()}
+        terms = self._terms.terms
+        return {terms[lid] for lid in self._live_lids()}
 
     def nulls(self) -> set[Null]:
-        return {t for t in self.domain() if isinstance(t, Null)}
+        null_lids = self._terms.null_lids
+        if not null_lids:
+            return set()
+        terms = self._terms.terms
+        return {terms[lid] for lid in self._live_lids() & null_lids}
 
     def constants(self) -> set[Constant]:
         return {t for t in self.domain() if isinstance(t, Constant)}

@@ -1,0 +1,138 @@
+"""Vectorised row-filter kernels for the columnar store (DESIGN.md §11).
+
+The columnar executor (:func:`repro.matching.plans._codegen_columnar`)
+runs its generated loop nests over :class:`~.columnar.ColumnarInstance`'s
+typed flat buffers: ``array('q')`` tid columns and candidate row-id
+cells, plus the ``bytearray`` live-row bitmap.  Those buffers expose the
+buffer protocol, so when numpy is importable the kernels wrap them
+**zero-copy** (``np.frombuffer``) and evaluate the live-bit test and the
+per-position equality checks as whole-array operations; without numpy
+the same kernels run as plain int loops.  The selection happens once at
+import:
+
+* ``REPRO_COLUMNAR_KERNELS=auto``   (default) — numpy if importable,
+  pure Python otherwise;
+* ``REPRO_COLUMNAR_KERNELS=python`` — force the pure-Python kernels
+  (this is how the numpy-absent differential leg runs on machines that
+  do have numpy installed);
+* ``REPRO_COLUMNAR_KERNELS=numpy``  — require numpy (ImportError if
+  missing; CI's numpy leg uses it so a broken install fails loudly).
+
+numpy is an *optional accelerator*, never a dependency: every caller
+must behave identically under both implementations, and the kernel
+differential tests in ``tests/test_columnar.py`` hold the two against
+each other on random inputs.
+
+Vectorisation only pays above a pool-size threshold: boxing each
+surviving row id back into a Python int costs more than a small scalar
+loop, so the generated code consults :data:`MIN_VECTOR_ROWS` at run time
+and keeps small pools on its inline scalar path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+_MODE = os.environ.get("REPRO_COLUMNAR_KERNELS", "auto")
+if _MODE not in ("auto", "numpy", "python"):
+    raise ValueError(
+        f"REPRO_COLUMNAR_KERNELS={_MODE!r} not understood; "
+        "known: auto, numpy, python"
+    )
+
+_np = None
+if _MODE != "python":
+    try:
+        import numpy as _np  # type: ignore[no-redef]
+    except ImportError:
+        if _MODE == "numpy":
+            raise
+        _np = None
+
+#: True when the numpy fast path is active.  The plan code generator
+#: consults this once per generated executor: with the pure-Python
+#: kernels there is no pool size at which a kernel call beats the inline
+#: scalar loop, so no vectorised branch is emitted at all.
+VECTORISED = _np is not None
+
+#: Candidate pools smaller than this stay on the generated scalar loop
+#: even when numpy is active (per-row boxing + fixed call overhead beat
+#: the vector win on tiny cells; measured crossover is ~40-80 rows).
+MIN_VECTOR_ROWS = 64
+
+
+def describe() -> str:
+    """One-line kernel-selection report for logs and CI summaries."""
+    if _np is not None:
+        return f"numpy {_np.__version__} (mode={_MODE})"
+    return f"pure-python (mode={_MODE})"
+
+
+def filter_rows_python(
+    pool: Sequence[int],
+    live: bytearray,
+    eqs: tuple,
+    pairs: tuple,
+) -> list[int]:
+    """The portable kernel: rows of ``pool`` that are live and pass every
+    check.
+
+    ``eqs``   — ``((column, value), ...)`` equality checks; a ``None``
+    value means the probed term does not occur in the instance at all, so
+    nothing can match.
+    ``pairs`` — ``((col_a, col_b), ...)`` within-atom repeated-term
+    checks.
+    """
+    for _col, v in eqs:
+        if v is None:
+            return []
+    out = []
+    for w in pool:
+        if not live[w]:
+            continue
+        ok = True
+        for col, v in eqs:
+            if col[w] != v:
+                ok = False
+                break
+        if ok:
+            for ca, cb in pairs:
+                if ca[w] != cb[w]:
+                    ok = False
+                    break
+        if ok:
+            out.append(w)
+    return out
+
+
+def filter_rows_numpy(
+    pool: Sequence[int],
+    live: bytearray,
+    eqs: tuple,
+    pairs: tuple,
+) -> list[int]:
+    """:func:`filter_rows_python` as whole-array numpy operations.
+
+    ``pool`` and the columns are ``array('q')`` buffers and ``live`` is a
+    ``bytearray``; ``np.frombuffer`` views them zero-copy, so the only
+    per-row Python cost is boxing the survivors on the way out.
+    """
+    for _col, v in eqs:
+        if v is None:
+            return []
+    idx = _np.frombuffer(pool, dtype=_np.int64, count=len(pool))
+    mask = _np.frombuffer(live, dtype=_np.uint8, count=len(live))[idx] != 0
+    for col, v in eqs:
+        mask &= _np.frombuffer(col, dtype=_np.int64, count=len(col))[idx] == v
+    for ca, cb in pairs:
+        a = _np.frombuffer(ca, dtype=_np.int64, count=len(ca))[idx]
+        b = _np.frombuffer(cb, dtype=_np.int64, count=len(cb))[idx]
+        mask &= a == b
+    return idx[mask].tolist()
+
+
+#: The active kernel.  Generated executors bind the *module* and call
+#: ``filter_rows`` through it, so tests can monkeypatch the attribute to
+#: drive both implementations through identical generated code.
+filter_rows = filter_rows_numpy if _np is not None else filter_rows_python

@@ -13,16 +13,26 @@ The metamorphic half extends the tid-churn suite: canonical keys stay
 tid-free (burning the interned-term counter between builds changes
 nothing), and savepoint/rollback round-trips restore columns, bitmap,
 index, rowmap *and* tick exactly under counter churn.
+
+The ISSUE 10 sections cover the typed-buffer rebuild (DESIGN.md §11):
+copy-on-write forks (children share segments until first write, never
+mutate the parent's, survive the parent's rollback), threshold
+compaction on fork, random nested-savepoint/fork scripts held against
+the list-backed ``Instance`` reference, and the vectorised kernels —
+pure-Python vs numpy on random inputs, and the generated vector branch
+vs the inline scalar loop through the same compiled plans.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 
 import pytest
 
 from repro.chase import canonical_key
 from repro.model import Atom, ColumnarInstance, Constant, Instance, Null
+from repro.model import kernels
 
 a, b, c = Constant("a"), Constant("b"), Constant("c")
 
@@ -330,3 +340,234 @@ class TestMetamorphicTidChurn:
                 col.discard(f)
             col.rollback(sp)
             assert snapshot(col) == before, f"seed={seed}"
+
+
+class TestCowForks:
+    """§11: ``copy()`` is a copy-on-write fork — segments are shared
+    until a side's first write, and neither side can ever observe the
+    other's mutations."""
+
+    def test_child_mutations_never_touch_parent(self):
+        facts = sample_facts()
+        col = ColumnarInstance(facts)
+        before = snapshot(col)
+        child = col.copy()
+        child.add(Atom("E", (c, c)))
+        child.add(Atom("H", (a, a)))
+        child.discard(facts[0])
+        child.merge_terms(Null(901), c)
+        assert snapshot(col) == before
+        assert col == Instance(facts)
+
+    def test_parent_mutations_never_touch_child(self):
+        facts = sample_facts()
+        col = ColumnarInstance(facts)
+        child = col.copy()
+        before = snapshot(child)
+        col.add(Atom("E", (c, c)))
+        col.discard(facts[0])
+        col.merge_terms(Null(901), c)
+        assert snapshot(child) == before
+        assert child == Instance(facts)
+
+    def test_fork_shares_segments_until_first_write(self):
+        col = ColumnarInstance(sample_facts())  # no dead rows: no compaction
+        child = col.copy()
+        for skey, st in col._stores.items():
+            assert child._stores[skey] is st  # shared, not copied
+        g_orig = col._stores[("G", 1)]
+        child.add(Atom("E", (c, a)))
+        assert child._stores[("E", 2)] is not col._stores[("E", 2)]
+        assert child._stores[("G", 1)] is g_orig  # untouched: still shared
+        col.add(Atom("G", (b,)))
+        assert col._stores[("G", 1)] is not g_orig  # parent un-shares too
+        assert child._stores[("G", 1)] is g_orig
+
+    def test_fork_mid_transaction_survives_parent_rollback(self):
+        # The witness engine forks inside active savepoints and rolls the
+        # parent back afterwards; the child must keep the pre-rollback
+        # state and stay fully usable as its own transaction scope.
+        col = ColumnarInstance([Atom("E", (a, b))])
+        sp = col.savepoint()
+        col.add(Atom("E", (b, c)))
+        child = col.copy()
+        col.rollback(sp)
+        assert col == Instance([Atom("E", (a, b))])
+        assert child == Instance([Atom("E", (a, b)), Atom("E", (b, c))])
+        csp = child.savepoint()
+        child.add(Atom("E", (c, a)))
+        child.rollback(csp)
+        assert child == Instance([Atom("E", (a, b)), Atom("E", (b, c))])
+
+    def test_eager_copy_matches_cow_fork(self):
+        facts = sample_facts()
+        col = ColumnarInstance(facts)
+        eager = col.copy(cow=False)
+        assert eager == col == col.copy()
+        for skey, st in col._stores.items():
+            assert eager._stores[skey] is not st  # detached up front
+        eager.add(Atom("E", (c, c)))
+        col.discard(facts[0])
+        assert Atom("E", (c, c)) not in col
+        assert facts[0] in eager
+
+    def test_copy_compacts_dead_rows(self):
+        col = ColumnarInstance()
+        for i in range(20):
+            col.add(Atom("G", (Constant(f"g{i}"),)))
+        for i in range(10):
+            col.discard(Atom("G", (Constant(f"g{i}"),)))
+        st = col._stores[("G", 1)]
+        assert (st.nrows, st.nlive) == (20, 10)
+        child = col.copy()
+        cst = child._stores[("G", 1)]
+        assert (cst.nrows, cst.nlive) == (10, 10)  # tombstones dropped
+        assert st.nrows == 20  # the parent keeps its row ids
+        assert child == col
+        # Below the dead-fraction threshold the store is shared verbatim.
+        col2 = ColumnarInstance(Atom("G", (Constant(f"h{i}"),)) for i in range(20))
+        col2.discard(Atom("G", (Constant("h0"),)))
+        assert col2.copy()._stores[("G", 1)] is col2._stores[("G", 1)]
+
+
+class TestRandomScriptsWithForks:
+    def test_nested_savepoint_fork_scripts_differential(self):
+        """Random scripts of add/discard/merge, nested savepoint push /
+        rollback / release, and mid-script COW forks (mutated on the
+        side, then dropped), held step-for-step against ``Instance``."""
+        for seed in range(12):
+            rng = random.Random(1000 + seed)
+            pool = [a, b, c, Null(960), Null(961), Null(962)]
+            base = [random_fact(rng, pool) for _ in range(8)]
+            col, ref = ColumnarInstance(base), Instance(base)
+            stack = []
+            for step in range(120):
+                r = rng.random()
+                f = random_fact(rng, pool)
+                if r < 0.40:
+                    assert col.add(f) == ref.add(f)
+                elif r < 0.62:
+                    assert col.discard(f) == ref.discard(f)
+                elif r < 0.70:
+                    live = sorted(col.nulls(), key=lambda n: n.label)
+                    if live:
+                        old = rng.choice(live)
+                        new = rng.choice([t for t in pool if t is not old])
+                        col.merge_terms(old, new)
+                        ref.merge_terms(old, new)
+                elif r < 0.80:
+                    stack.append((col.savepoint(), ref.savepoint()))
+                elif r < 0.88:
+                    if stack:
+                        sc, sr = stack.pop()
+                        col.rollback(sc)
+                        ref.rollback(sr)
+                elif r < 0.94:
+                    if stack:
+                        sc, sr = stack.pop()
+                        col.release(sc)
+                        ref.release(sr)
+                else:
+                    # Fork both sides (possibly mid-transaction), mutate
+                    # only the children, compare, drop them.
+                    cc, cr = col.copy(), ref.copy()
+                    for g in [random_fact(rng, pool) for _ in range(4)]:
+                        assert cc.add(g) == cr.add(g)
+                    assert cc.discard(f) == cr.discard(f)
+                    assert cc == cr, f"seed={seed} step={step} fork"
+                assert col == ref, f"seed={seed} step={step}"
+            while stack:
+                sc, sr = stack.pop()
+                col.rollback(sc)
+                ref.rollback(sr)
+            assert col == ref, f"seed={seed} unwound"
+            assert col.tick == ref.tick, f"seed={seed}"
+
+
+def random_kernel_case(rng):
+    """A random (pool, live, eqs, pairs) kernel input over 3 columns."""
+    nrows = rng.randrange(1, 120)
+    ncols = 3
+    cols = [
+        array("q", (rng.randrange(0, 6) for _ in range(nrows)))
+        for _ in range(ncols)
+    ]
+    live = bytearray(rng.randrange(0, 2) for _ in range(nrows))
+    pool = array("q", (rng.randrange(0, nrows) for _ in range(rng.randrange(0, 90))))
+    eqs = tuple(
+        (cols[i], None if rng.random() < 0.05 else rng.randrange(0, 6))
+        for i in range(rng.randrange(0, ncols))
+    )
+    pairs = tuple(
+        (cols[i], cols[j])
+        for i, j in [rng.sample(range(ncols), 2)]
+        if rng.random() < 0.5
+    )
+    return pool, live, eqs, pairs
+
+
+class TestKernels:
+    def test_selection_invariants(self):
+        assert kernels.filter_rows in (
+            kernels.filter_rows_python,
+            kernels.filter_rows_numpy,
+        )
+        assert kernels.VECTORISED == (kernels._np is not None)
+        assert isinstance(kernels.describe(), str)
+
+    def test_python_numpy_kernels_differential(self):
+        if kernels._np is None:
+            pytest.skip("numpy not installed")
+        for seed in range(80):
+            case = random_kernel_case(random.Random(seed))
+            assert kernels.filter_rows_python(*case) == kernels.filter_rows_numpy(
+                *case
+            ), f"seed={seed}"
+
+    def test_generated_vector_branch_matches_scalar_path(self, monkeypatch):
+        """The same compiled plan, run once through the inline scalar
+        loop and once through the vectorised branch (forced on with the
+        portable kernel, so this holds with or without numpy), must
+        enumerate identical homomorphisms — and the branch must actually
+        run."""
+        from repro.matching import plans
+        from repro.model import Variable
+
+        rng = random.Random(7)
+        pool = [a, b, c] + [Constant(f"k{i}") for i in range(5)]
+        facts = [random_fact(rng, pool) for _ in range(400)]
+        col = ColumnarInstance(facts)
+        x, y = Variable("x"), Variable("y")
+        bodies = [
+            [Atom("E", (a, x))],                      # rigid probe at step 0
+            [Atom("E", (x, x))],                      # within-atom pair check
+            [Atom("T", (x, y, b)), Atom("E", (y, x))],
+            [Atom("G", (x,)), Atom("E", (x, y))],
+        ]
+
+        def enumerate_all():
+            return [
+                {frozenset(m.items()) for m in plans.match(body, col, limit=None)}
+                for body in bodies
+            ]
+
+        plans.clear_cache()
+        scalar = enumerate_all()
+
+        calls = 0
+
+        def counting_filter(pool, live, eqs, pairs):
+            nonlocal calls
+            calls += 1
+            return kernels.filter_rows_python(pool, live, eqs, pairs)
+
+        monkeypatch.setattr(kernels, "VECTORISED", True)
+        monkeypatch.setattr(kernels, "MIN_VECTOR_ROWS", 1)
+        monkeypatch.setattr(kernels, "filter_rows", counting_filter)
+        plans.clear_cache()  # regenerate with the vector branch emitted
+        try:
+            vectorised = enumerate_all()
+        finally:
+            plans.clear_cache()  # drop branch-forced code for later tests
+        assert vectorised == scalar
+        assert calls > 0  # the vector branch really executed
